@@ -1,0 +1,27 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every harness runs with no CLI arguments (scaling comes from ATR_* env
+// vars, see eval/datasets.h) and prints: the experiment id it reproduces,
+// the effective configuration, and the paper-style rows.
+
+#ifndef ATR_BENCH_BENCH_COMMON_H_
+#define ATR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+#include "eval/datasets.h"
+#include "graph/generators/social_profiles.h"
+
+namespace atr {
+
+inline void PrintBenchHeader(const char* experiment, const char* paper_ref) {
+  std::printf("\n=== %s — reproduces %s ===\n", experiment, paper_ref);
+  std::printf(
+      "config: ATR_BENCH_SCALE=%.2f ATR_BENCH_B=%u ATR_BENCH_TRIALS=%u "
+      "(synthetic SNAP stand-ins; see DESIGN.md §3)\n\n",
+      BenchScale(), BenchBudget(), BenchTrials());
+}
+
+}  // namespace atr
+
+#endif  // ATR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,99 @@
+// Exp-4 (Fig. 7): case study comparing GAS, AKT (best k), and the
+// edge-deletion selection with b = 3 anchors on a gowalla-like graph,
+// reporting how many edges improve and at which trussness levels.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "core/akt.h"
+#include "core/edge_deletion.h"
+#include "core/gas.h"
+#include "truss/decomposition.h"
+#include "truss/gain.h"
+#include "util/table_printer.h"
+
+namespace atr {
+namespace {
+
+// Count of improved edges per (pre-anchor) trussness level.
+std::map<uint32_t, uint32_t> ImprovedByLevel(const Graph& g,
+                                             const TrussDecomposition& base,
+                                             const std::vector<EdgeId>& set) {
+  std::vector<bool> anchored(g.NumEdges(), false);
+  for (EdgeId e : set) anchored[e] = true;
+  const TrussDecomposition after = ComputeTrussDecomposition(g, anchored);
+  std::map<uint32_t, uint32_t> by_level;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (anchored[e]) continue;
+    if (after.trussness[e] > base.trussness[e]) ++by_level[base.trussness[e]];
+  }
+  return by_level;
+}
+
+std::string LevelsToString(const std::map<uint32_t, uint32_t>& by_level) {
+  std::string out;
+  uint32_t total = 0;
+  for (const auto& [level, count] : by_level) {
+    out += "t" + std::to_string(level) + ":" + std::to_string(count) + " ";
+    total += count;
+  }
+  if (out.empty()) out = "(none) ";
+  out += "| total " + std::to_string(total);
+  return out;
+}
+
+void Run() {
+  PrintBenchHeader("bench_fig7_case_study", "Fig. 7 (Exp-4)");
+  // Small case-study instance: the edge-deletion baseline needs one
+  // decomposition per candidate edge.
+  const double scale = std::min(0.18, BenchScale() * 0.9);
+  const DatasetInstance data = MakeDataset("gowalla", scale);
+  const Graph& g = data.graph;
+  const TrussDecomposition& base = data.decomposition;
+  std::printf("case study on gowalla stand-in: |V|=%u |E|=%u, b=3\n\n",
+              g.NumVertices(), g.NumEdges());
+
+  const AnchorResult gas = RunGas(g, 3);
+
+  uint64_t best_akt_gain = 0;
+  uint32_t best_k = 0;
+  std::vector<VertexId> best_akt_anchors;
+  for (uint32_t k = 4; k <= base.max_trussness + 1; ++k) {
+    const AktResult akt = RunAkt(g, base, k, 3);
+    if (akt.total_gain > best_akt_gain) {
+      best_akt_gain = akt.total_gain;
+      best_k = k;
+      best_akt_anchors = akt.anchors;
+    }
+  }
+
+  const EdgeDeletionResult deletion = RunEdgeDeletionBaseline(g, 3);
+
+  TablePrinter table({"Method", "Anchors", "Improved edges by level"});
+  table.AddRow({"GAS (edges)", TablePrinter::FormatInt(3),
+                LevelsToString(ImprovedByLevel(g, base, gas.anchors))});
+  std::map<uint32_t, uint32_t> akt_levels;
+  if (best_k > 0) {
+    for (EdgeId e : AktFollowers(g, base, best_k, best_akt_anchors)) {
+      ++akt_levels[base.trussness[e]];
+    }
+  }
+  table.AddRow({"AKT (vertices, best k=" + std::to_string(best_k) + ")",
+                TablePrinter::FormatInt(3), LevelsToString(akt_levels)});
+  table.AddRow({"Edge-deletion", TablePrinter::FormatInt(3),
+                LevelsToString(ImprovedByLevel(g, base, deletion.anchors))});
+  table.Print();
+  std::printf(
+      "\nexpected shape (paper Fig. 7: 1714 vs 413 vs 46 improved edges): "
+      "GAS improves the most edges across multiple levels; AKT only lifts "
+      "level k-1; deletion-critical anchors improve the fewest.\n");
+}
+
+}  // namespace
+}  // namespace atr
+
+int main() {
+  atr::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Application 1 of the paper's introduction: reinforcing a social network's
+// overall engagement by anchoring key relationships. Compares GAS against
+// the vertex-anchoring alternative (AKT) and random strengthening, and
+// shows which trussness levels each approach improves.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/akt.h"
+#include "core/gas.h"
+#include "core/random_baselines.h"
+#include "graph/generators/social_profiles.h"
+#include "truss/decomposition.h"
+#include "truss/gain.h"
+#include "util/table_printer.h"
+
+namespace {
+
+std::map<uint32_t, uint32_t> GainByLevel(const atr::Graph& g,
+                                         const atr::TrussDecomposition& base,
+                                         const std::vector<atr::EdgeId>& set) {
+  std::vector<bool> anchored(g.NumEdges(), false);
+  for (atr::EdgeId e : set) anchored[e] = true;
+  const atr::TrussDecomposition after =
+      atr::ComputeTrussDecomposition(g, anchored);
+  std::map<uint32_t, uint32_t> by_level;
+  for (atr::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (anchored[e]) continue;
+    if (after.trussness[e] > base.trussness[e]) ++by_level[base.trussness[e]];
+  }
+  return by_level;
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t budget = 10;
+  const atr::Graph g = atr::MakeSocialProfile("facebook", 0.15, /*seed=*/3);
+  const atr::TrussDecomposition base = atr::ComputeTrussDecomposition(g);
+  std::printf(
+      "friendship network: %u users, %u ties, deepest community level %u\n\n",
+      g.NumVertices(), g.NumEdges(), base.max_trussness);
+
+  // Strengthen b ties with GAS.
+  const atr::AnchorResult gas = atr::RunGas(g, budget);
+
+  // Alternative 1: retain b influential users (AKT) at its best k.
+  uint64_t best_akt = 0;
+  uint32_t best_k = 0;
+  for (uint32_t k = 4; k <= base.max_trussness + 1; k += 2) {
+    const atr::AktResult akt = atr::RunAkt(g, base, k, budget);
+    if (akt.total_gain > best_akt) {
+      best_akt = akt.total_gain;
+      best_k = k;
+    }
+  }
+
+  // Alternative 2: strengthen b random strong ties.
+  const atr::RandomBaselineResult sup = atr::RunRandomBaseline(
+      g, atr::RandomPoolKind::kTopSupport, {budget}, 100, 5);
+
+  atr::TablePrinter table({"Strategy", "Engagement gain (trussness)"});
+  table.AddRow({"GAS: anchor " + std::to_string(budget) + " ties",
+                atr::TablePrinter::FormatInt(gas.total_gain)});
+  table.AddRow({"AKT: retain " + std::to_string(budget) +
+                    " users (best k=" + std::to_string(best_k) + ")",
+                atr::TablePrinter::FormatInt(best_akt)});
+  table.AddRow({"Random strong ties (best of 100 draws)",
+                atr::TablePrinter::FormatInt(sup.best_gain)});
+  table.Print();
+
+  std::printf("\ncommunity levels improved by the GAS anchors:\n");
+  for (const auto& [level, count] : GainByLevel(g, base, gas.anchors)) {
+    std::printf("  %u ties moved from cohesion level %u to %u\n", count,
+                level, level + 1);
+  }
+  std::printf(
+      "\nreading: anchored ties keep supporting their communities even if "
+      "the users at their endpoints go quiet, so the whole engagement "
+      "hierarchy shifts up.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Application 2 of the paper's introduction: hardening a transportation
+// network. Road networks are geometry-dominated, so we model one as a
+// random geometric graph, identify the b links whose reinforcement
+// (anchoring) best stabilizes the network, and contrast them with the links
+// a deletion-criticality analysis would have picked.
+
+#include <cstdio>
+
+#include "core/edge_deletion.h"
+#include "core/gas.h"
+#include "graph/generators/generators.h"
+#include "truss/decomposition.h"
+#include "truss/gain.h"
+#include "util/table_printer.h"
+
+int main() {
+  const uint32_t budget = 5;
+  // ~900 intersections on the unit square, links between nearby ones.
+  const atr::Graph g = atr::RandomGeometricGraph(900, 0.065, /*seed=*/11);
+  const atr::TrussDecomposition base = atr::ComputeTrussDecomposition(g);
+  std::printf("road network: %u intersections, %u links, k_max=%u\n\n",
+              g.NumVertices(), g.NumEdges(), base.max_trussness);
+
+  const atr::AnchorResult gas = atr::RunGas(g, budget);
+  std::printf("reinforced links chosen by GAS (budget %u):\n", budget);
+  for (size_t i = 0; i < gas.rounds.size(); ++i) {
+    const atr::EdgeEndpoints ends = g.Edge(gas.rounds[i].anchor);
+    std::printf("  link (%u, %u): stabilizes %u neighboring links\n", ends.u,
+                ends.v, gas.rounds[i].gain);
+  }
+
+  const atr::EdgeDeletionResult critical =
+      atr::RunEdgeDeletionBaseline(g, budget);
+
+  atr::TablePrinter table({"Selection policy", "Stability gain"});
+  table.AddRow({"Reinforce GAS anchors",
+                atr::TablePrinter::FormatInt(gas.total_gain)});
+  table.AddRow({"Reinforce deletion-critical links",
+                atr::TablePrinter::FormatInt(critical.total_gain)});
+  table.Print();
+  std::printf(
+      "\nreading: the links whose FAILURE would hurt most are not the links "
+      "whose REINFORCEMENT helps most — anchoring only lifts links at the "
+      "anchor's own cohesion level or above (the paper's Fig. 7 insight).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// AKT baseline — the anchored k-truss vertex-anchoring approach of Zhang et
+// al. (ICDE 2018), reimplemented from its published semantics for the
+// paper's Exp-4 / Exp-9 comparisons.
+//
+// Semantics: for a fixed k, anchoring a vertex exempts its incident edges
+// from peeling during the k-truss computation (their support is treated as
+// infinite). This can retain edges of trussness k-1 inside the k-truss; a
+// vertex's followers are the (k-1)-trussness edges that join the anchored
+// k-truss, each contributing +1 trussness gain (the paper notes AKT can
+// only lift (k-1)-edges, by at most 1). The greedy picks b vertices, each
+// round choosing the vertex with the largest marginal follower gain among
+// the endpoints of (k-1)-hull edges.
+
+#ifndef ATR_CORE_AKT_H_
+#define ATR_CORE_AKT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "truss/decomposition.h"
+
+namespace atr {
+
+struct AktResult {
+  uint32_t k = 0;
+  std::vector<VertexId> anchors;      // chosen vertices, in order
+  std::vector<uint64_t> gain_after;   // cumulative gain after each round
+  uint64_t total_gain = 0;            // followers of the final anchor set
+};
+
+// Runs the AKT greedy for one k. `decomp` must be the plain decomposition
+// of g. Returns zero gain when the (k-1)-hull is empty.
+AktResult RunAkt(const Graph& g, const TrussDecomposition& decomp, uint32_t k,
+                 uint32_t budget);
+
+// Follower edges (trussness k-1, in the anchored k-truss) for a given
+// anchor-vertex set; exposed for tests and the Fig. 7 case study.
+std::vector<EdgeId> AktFollowers(const Graph& g,
+                                 const TrussDecomposition& decomp, uint32_t k,
+                                 const std::vector<VertexId>& anchors);
+
+}  // namespace atr
+
+#endif  // ATR_CORE_AKT_H_

@@ -1,0 +1,56 @@
+// Shared types for the Anchor Trussness Reinforcement (ATR) problem.
+//
+// Problem statement (paper §II): given graph G and budget b, pick an edge
+// set A, |A| = b, maximizing TG(A, G) = sum over e in E\A of
+// t_A(e) - t(e), where anchored edges have infinite support.
+//
+// All greedy solvers (BASE, BASE+, GAS) implement the same contract and
+// break ties identically (largest marginal gain, then smallest edge id), so
+// they must produce identical anchor sequences — a property the test suite
+// enforces.
+
+#ifndef ATR_CORE_ATR_PROBLEM_H_
+#define ATR_CORE_ATR_PROBLEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace atr {
+
+// Per-greedy-round record. `cumulative_seconds` lets one budget-b run report
+// every intermediate budget (the paper's Fig. 6 / Fig. 8 sweeps).
+struct AnchorRound {
+  EdgeId anchor = kInvalidEdge;
+  // Marginal trussness gain of this round's anchor (= its follower count).
+  uint32_t gain = 0;
+  double cumulative_seconds = 0.0;
+  // Reuse classification of candidate edges this round (GAS only; zero
+  // elsewhere). FR: every cached follower result reused; PR: some reused;
+  // NR: fully recomputed. Round 1 is always all-NR.
+  uint32_t fully_reusable = 0;
+  uint32_t partially_reusable = 0;
+  uint32_t non_reusable = 0;
+  // Trussness values (pre-anchoring, this round) of the chosen anchor's
+  // followers, for the paper's Fig. 11(b) distribution.
+  std::vector<uint32_t> follower_trussness;
+};
+
+struct AnchorResult {
+  std::vector<EdgeId> anchors;     // in selection order
+  std::vector<AnchorRound> rounds;  // one per anchor
+  uint64_t total_gain = 0;          // sum of round gains = TG(A, G)
+};
+
+// Deterministic tie-break shared by every solver: prefer larger gain, then
+// smaller edge id.
+inline bool BetterCandidate(uint64_t gain, EdgeId edge, uint64_t best_gain,
+                            EdgeId best_edge) {
+  if (gain != best_gain) return gain > best_gain;
+  return edge < best_edge;
+}
+
+}  // namespace atr
+
+#endif  // ATR_CORE_ATR_PROBLEM_H_

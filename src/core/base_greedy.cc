@@ -1,0 +1,73 @@
+#include "core/base_greedy.h"
+
+#include <mutex>
+
+#include "truss/decomposition.h"
+#include "truss/gain.h"
+#include "util/macros.h"
+#include "util/parallel_for.h"
+#include "util/timer.h"
+
+namespace atr {
+
+AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget) {
+  const uint32_t m = g.NumEdges();
+  AnchorResult result;
+  if (m == 0) return result;
+  budget = std::min<uint32_t>(budget, m);
+
+  WallTimer timer;
+  std::vector<bool> anchored(m, false);
+  TrussDecomposition current = ComputeTrussDecomposition(g, anchored);
+
+  while (result.anchors.size() < budget) {
+    // Chunk-local winners merged deterministically by (gain, edge id).
+    struct Best {
+      uint64_t gain = 0;
+      EdgeId edge = kInvalidEdge;
+    };
+    std::vector<Best> bests;
+    std::mutex mu;
+    ParallelFor(m, [&](int64_t begin, int64_t end) {
+      Best local;
+      for (int64_t i = begin; i < end; ++i) {
+        const EdgeId e = static_cast<EdgeId>(i);
+        if (anchored[e]) continue;
+        const uint64_t gain = TrussnessGain(g, current, anchored, {e});
+        if (local.edge == kInvalidEdge ||
+            BetterCandidate(gain, e, local.gain, local.edge)) {
+          local = Best{gain, e};
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      bests.push_back(local);
+    });
+    Best best;
+    for (const Best& b : bests) {
+      if (b.edge == kInvalidEdge) continue;
+      if (best.edge == kInvalidEdge ||
+          BetterCandidate(b.gain, b.edge, best.gain, best.edge)) {
+        best = b;
+      }
+    }
+    ATR_CHECK(best.edge != kInvalidEdge);
+
+    // Record the followers' trussness before applying the anchor.
+    AnchorRound round;
+    round.anchor = best.edge;
+    round.gain = static_cast<uint32_t>(best.gain);
+    for (EdgeId f : BruteForceFollowers(g, current, anchored, best.edge)) {
+      round.follower_trussness.push_back(current.trussness[f]);
+    }
+
+    anchored[best.edge] = true;
+    current = ComputeTrussDecomposition(g, anchored);
+    round.cumulative_seconds = timer.ElapsedSeconds();
+    result.total_gain += best.gain;
+    result.anchors.push_back(best.edge);
+    result.rounds.push_back(std::move(round));
+  }
+  return result;
+}
+
+}  // namespace atr

@@ -1,0 +1,21 @@
+// BASE (Algorithm 2): the greedy framework with brute-force gain
+// computation. Every round, the trussness gain of every candidate edge is
+// obtained by a full truss decomposition of the anchored graph —
+// O(b * m^2.5). Only feasible on small graphs; it is the reference
+// implementation the accelerated solvers are verified against.
+
+#ifndef ATR_CORE_BASE_GREEDY_H_
+#define ATR_CORE_BASE_GREEDY_H_
+
+#include "core/atr_problem.h"
+#include "graph/graph.h"
+
+namespace atr {
+
+// Runs BASE with the given budget. Candidate evaluation is parallelized
+// across edges (deterministic reduction).
+AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget);
+
+}  // namespace atr
+
+#endif  // ATR_CORE_BASE_GREEDY_H_

@@ -1,0 +1,21 @@
+// BASE+ (paper §IV): the greedy framework where each candidate's gain is
+// computed with the upward-route follower search (Algorithm 3) instead of a
+// full truss decomposition. One decomposition per round, plus m follower
+// searches; no result reuse across rounds.
+
+#ifndef ATR_CORE_BASE_PLUS_H_
+#define ATR_CORE_BASE_PLUS_H_
+
+#include "core/atr_problem.h"
+#include "graph/graph.h"
+
+namespace atr {
+
+// Runs BASE+ with the given budget. Candidate evaluation is parallelized
+// across edges with one FollowerSearch instance per worker (deterministic
+// reduction).
+AnchorResult RunBasePlus(const Graph& g, uint32_t budget);
+
+}  // namespace atr
+
+#endif  // ATR_CORE_BASE_PLUS_H_

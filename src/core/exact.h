@@ -1,0 +1,29 @@
+// Exact ATR solver: exhaustively evaluates every b-subset of edges and
+// returns one with maximum trussness gain (Exp-2 of the paper). Cost is
+// C(m, b) anchored decompositions — only viable for the 150-250 edge
+// extracts the paper uses.
+
+#ifndef ATR_CORE_EXACT_H_
+#define ATR_CORE_EXACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace atr {
+
+struct ExactResult {
+  std::vector<EdgeId> anchors;  // ascending edge ids
+  uint64_t gain = 0;
+  uint64_t subsets_evaluated = 0;
+};
+
+// Evaluates all C(m, budget) anchor sets (parallelized over the first
+// element; deterministic tie-break: max gain, then lexicographically
+// smallest subset). Budget must satisfy 1 <= budget <= m.
+ExactResult RunExact(const Graph& g, uint32_t budget);
+
+}  // namespace atr
+
+#endif  // ATR_CORE_EXACT_H_

@@ -1,0 +1,81 @@
+#include "core/max_coverage_gadget.h"
+
+#include "util/macros.h"
+
+namespace atr {
+namespace {
+
+// Adds a clique over `size` vertices, the first `pinned` of which are the
+// given existing vertices; the rest are fresh. Returns the fresh-vertex
+// base index.
+void AddClique(GraphBuilder& builder, std::vector<VertexId>& members,
+               uint32_t size, uint32_t& next_vertex) {
+  while (members.size() < size) members.push_back(next_vertex++);
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      builder.AddEdge(members[i], members[j]);
+    }
+  }
+}
+
+}  // namespace
+
+MaxCoverageGadget BuildMaxCoverageGadget(
+    const std::vector<std::vector<uint32_t>>& sets, uint32_t num_elements) {
+  ATR_CHECK(num_elements >= 1);
+  const uint32_t t = num_elements;
+  const uint32_t clique_size = t + 3;
+
+  GraphBuilder builder;
+  uint32_t next_vertex = 0;
+  const VertexId hub = next_vertex++;
+
+  // Set edges a_i = (hub, A_i) and element edges f_j = (hub, F_j).
+  std::vector<VertexId> set_tip(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) set_tip[i] = next_vertex++;
+  std::vector<VertexId> element_tip(num_elements);
+  for (uint32_t j = 0; j < num_elements; ++j) element_tip[j] = next_vertex++;
+
+  for (VertexId tip : set_tip) builder.AddEdge(hub, tip);
+  for (VertexId tip : element_tip) builder.AddEdge(hub, tip);
+
+  // Coverage triangles: for e_j in T_i, a clique through {A_i, F_j} closes
+  // the triangle {a_i, f_j, (A_i, F_j)}.
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (uint32_t j : sets[i]) {
+      ATR_CHECK(j < num_elements);
+      std::vector<VertexId> members = {set_tip[i], element_tip[j]};
+      AddClique(builder, members, clique_size, next_vertex);
+    }
+  }
+
+  // Support triangles pinning t(f_j) = t+2: t triangles per element edge,
+  // each through a fresh bridge vertex z with one clique containing
+  // {F_j, z} and another containing {z, hub}.
+  for (uint32_t j = 0; j < num_elements; ++j) {
+    for (uint32_t r = 0; r < t; ++r) {
+      const VertexId z = next_vertex++;
+      std::vector<VertexId> clique1 = {element_tip[j], z};
+      AddClique(builder, clique1, clique_size, next_vertex);
+      std::vector<VertexId> clique2 = {z, hub};
+      AddClique(builder, clique2, clique_size, next_vertex);
+    }
+  }
+
+  MaxCoverageGadget gadget;
+  gadget.graph = builder.Build();
+  gadget.num_elements = num_elements;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    const EdgeId a = gadget.graph.FindEdge(hub, set_tip[i]);
+    ATR_CHECK(a != kInvalidEdge);
+    gadget.set_edges.push_back(a);
+  }
+  for (uint32_t j = 0; j < num_elements; ++j) {
+    const EdgeId f = gadget.graph.FindEdge(hub, element_tip[j]);
+    ATR_CHECK(f != kInvalidEdge);
+    gadget.element_edges.push_back(f);
+  }
+  return gadget;
+}
+
+}  // namespace atr

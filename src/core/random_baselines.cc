@@ -1,0 +1,140 @@
+#include "core/random_baselines.h"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+
+#include "graph/triangles.h"
+#include "route/follower_search.h"
+#include "truss/decomposition.h"
+#include "truss/gain.h"
+#include "util/macros.h"
+#include "util/parallel_for.h"
+#include "util/prng.h"
+
+namespace atr {
+namespace {
+
+std::vector<EdgeId> TopFractionByScore(const std::vector<uint64_t>& score,
+                                       double fraction) {
+  std::vector<EdgeId> order(score.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&score](EdgeId a, EdgeId b) {
+    return score[a] != score[b] ? score[a] > score[b] : a < b;
+  });
+  const size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(order.size())));
+  order.resize(std::min(order.size(), keep));
+  return order;
+}
+
+}  // namespace
+
+std::vector<EdgeId> BaselinePool(const Graph& g, RandomPoolKind kind) {
+  const uint32_t m = g.NumEdges();
+  switch (kind) {
+    case RandomPoolKind::kAllEdges: {
+      std::vector<EdgeId> all(m);
+      std::iota(all.begin(), all.end(), 0u);
+      return all;
+    }
+    case RandomPoolKind::kTopSupport: {
+      const std::vector<uint32_t> support = ComputeSupport(g);
+      std::vector<uint64_t> score(support.begin(), support.end());
+      return TopFractionByScore(score, 0.2);
+    }
+    case RandomPoolKind::kTopRouteSize: {
+      const TrussDecomposition decomp = ComputeTrussDecomposition(g);
+      std::vector<uint64_t> score(m, 0);
+      ParallelFor(m, [&](int64_t begin, int64_t end) {
+        FollowerSearch search(g);
+        search.SetState(&decomp, nullptr);
+        for (int64_t i = begin; i < end; ++i) {
+          score[i] = search.RouteSize(static_cast<EdgeId>(i));
+        }
+      });
+      return TopFractionByScore(score, 0.2);
+    }
+  }
+  return {};
+}
+
+RandomBaselineResult RunRandomBaseline(
+    const Graph& g, RandomPoolKind kind,
+    const std::vector<uint32_t>& budget_checkpoints, uint32_t trials,
+    uint64_t seed) {
+  ATR_CHECK(!budget_checkpoints.empty());
+  ATR_CHECK(std::is_sorted(budget_checkpoints.begin(),
+                           budget_checkpoints.end()));
+  const uint32_t m = g.NumEdges();
+  const uint32_t budget = std::min<uint32_t>(budget_checkpoints.back(), m);
+  const std::vector<EdgeId> pool = BaselinePool(g, kind);
+  ATR_CHECK(!pool.empty());
+  const TrussDecomposition base = ComputeTrussDecomposition(g);
+
+  struct TrialBest {
+    uint64_t gain = 0;
+    uint32_t trial = 0xffffffffu;
+    std::vector<EdgeId> anchors;
+    std::vector<uint64_t> checkpoint_gain;
+  };
+  std::vector<TrialBest> partials;
+  std::mutex mu;
+
+  ParallelFor(trials, [&](int64_t begin, int64_t end) {
+    TrialBest local;
+    local.checkpoint_gain.assign(budget_checkpoints.size(), 0);
+    for (int64_t trial = begin; trial < end; ++trial) {
+      // Independent deterministic stream per trial.
+      Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1)));
+      const uint32_t draw = std::min<uint32_t>(budget, pool.size());
+      std::vector<uint32_t> picks = rng.SampleWithoutReplacement(
+          static_cast<uint32_t>(pool.size()), draw);
+      rng.Shuffle(picks);  // checkpoint prefixes must be a random order
+      std::vector<EdgeId> anchors;
+      anchors.reserve(draw);
+      for (uint32_t p : picks) anchors.push_back(pool[p]);
+
+      // Evaluate each checkpoint prefix.
+      for (size_t c = 0; c < budget_checkpoints.size(); ++c) {
+        const uint32_t prefix =
+            std::min<uint32_t>(budget_checkpoints[c], draw);
+        std::vector<EdgeId> subset(anchors.begin(),
+                                   anchors.begin() + prefix);
+        const uint64_t gain = TrussnessGain(g, base, {}, subset);
+        local.checkpoint_gain[c] = std::max(local.checkpoint_gain[c], gain);
+        if (c + 1 == budget_checkpoints.size()) {
+          const uint32_t t32 = static_cast<uint32_t>(trial);
+          if (gain > local.gain || (gain == local.gain && t32 < local.trial)) {
+            local.gain = gain;
+            local.trial = t32;
+            local.anchors = subset;
+          }
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    partials.push_back(std::move(local));
+  });
+
+  RandomBaselineResult result;
+  result.trials = trials;
+  result.gain_at_checkpoint.assign(budget_checkpoints.size(), 0);
+  uint32_t best_trial = 0xffffffffu;
+  for (const TrialBest& p : partials) {
+    for (size_t c = 0; c < result.gain_at_checkpoint.size(); ++c) {
+      result.gain_at_checkpoint[c] =
+          std::max(result.gain_at_checkpoint[c], p.checkpoint_gain[c]);
+    }
+    if (p.trial == 0xffffffffu) continue;
+    if (p.gain > result.best_gain ||
+        (p.gain == result.best_gain && p.trial < best_trial)) {
+      result.best_gain = p.gain;
+      result.best_anchors = p.anchors;
+      best_trial = p.trial;
+    }
+  }
+  return result;
+}
+
+}  // namespace atr

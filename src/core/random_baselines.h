@@ -1,0 +1,47 @@
+// Randomized baselines of the paper's effectiveness experiments:
+//  * Rand — b anchors uniform over all edges;
+//  * Sup  — b anchors uniform over the top 20% of edges by support;
+//  * Tur  — b anchors uniform over the top 20% by upward-route size.
+// Each runs `trials` independent draws and reports the best trussness gain
+// found (the paper uses 2000 trials and reports the maximum).
+
+#ifndef ATR_CORE_RANDOM_BASELINES_H_
+#define ATR_CORE_RANDOM_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace atr {
+
+struct RandomBaselineResult {
+  uint64_t best_gain = 0;
+  std::vector<EdgeId> best_anchors;
+  uint32_t trials = 0;
+  // best_gain at each requested budget checkpoint (ascending budgets), so
+  // one call serves a whole Fig. 6 sweep. Entry i corresponds to
+  // budget_checkpoints[i] anchors (prefixes of each trial's draw).
+  std::vector<uint64_t> gain_at_checkpoint;
+};
+
+enum class RandomPoolKind {
+  kAllEdges,       // Rand
+  kTopSupport,     // Sup: top 20% by support
+  kTopRouteSize,   // Tur: top 20% by upward-route size
+};
+
+// Runs the baseline. `budget_checkpoints` must be ascending and non-empty;
+// the final checkpoint is the full budget b. Deterministic in `seed`
+// (trials are independent streams; parallelized with ordered reduction).
+RandomBaselineResult RunRandomBaseline(const Graph& g, RandomPoolKind kind,
+                                       const std::vector<uint32_t>& budget_checkpoints,
+                                       uint32_t trials, uint64_t seed);
+
+// The candidate pool used by `kind` (exposed for tests): all edges, or the
+// top-20% edge ids under the respective score, descending score order.
+std::vector<EdgeId> BaselinePool(const Graph& g, RandomPoolKind kind);
+
+}  // namespace atr
+
+#endif  // ATR_CORE_RANDOM_BASELINES_H_

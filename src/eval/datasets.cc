@@ -1,0 +1,46 @@
+#include "eval/datasets.h"
+
+#include <algorithm>
+
+#include "graph/generators/social_profiles.h"
+#include "graph/triangles.h"
+#include "util/env.h"
+
+namespace atr {
+
+double BenchScale() { return GetEnvDouble("ATR_BENCH_SCALE", 0.2); }
+
+uint32_t BenchBudget() {
+  return static_cast<uint32_t>(GetEnvInt64("ATR_BENCH_B", 32));
+}
+
+uint32_t BenchTrials() {
+  return static_cast<uint32_t>(GetEnvInt64("ATR_BENCH_TRIALS", 120));
+}
+
+DatasetInstance MakeDataset(const std::string& name, double scale) {
+  DatasetInstance instance;
+  instance.name = name;
+  instance.graph = MakeSocialProfile(name, scale, /*seed=*/0);
+  instance.decomposition = ComputeTrussDecomposition(instance.graph);
+  instance.k_max = instance.decomposition.max_trussness;
+  uint32_t sup_max = 0;
+  for (uint32_t s : ComputeSupport(instance.graph)) {
+    sup_max = std::max(sup_max, s);
+  }
+  instance.sup_max = sup_max;
+  return instance;
+}
+
+std::vector<DatasetInstance> MakeBenchmarkDatasets(double scale, int limit) {
+  std::vector<DatasetInstance> out;
+  int built = 0;
+  for (const DatasetSpec& spec : SocialProfileSpecs()) {
+    if (limit > 0 && built >= limit) break;
+    out.push_back(MakeDataset(spec.name, scale));
+    ++built;
+  }
+  return out;
+}
+
+}  // namespace atr

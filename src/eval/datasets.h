@@ -1,0 +1,42 @@
+// Benchmark dataset registry: instantiates the synthetic SNAP stand-ins at
+// the scale requested via environment knobs and computes the Table III
+// statistics columns (|V|, |E|, k_max, sup_max).
+
+#ifndef ATR_EVAL_DATASETS_H_
+#define ATR_EVAL_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "truss/decomposition.h"
+
+namespace atr {
+
+struct DatasetInstance {
+  std::string name;
+  Graph graph;
+  TrussDecomposition decomposition;  // no anchors
+  uint32_t k_max = 0;
+  uint32_t sup_max = 0;
+};
+
+// Effective benchmark knobs (each printed by the benches that use them):
+//   ATR_BENCH_SCALE  — dataset size multiplier (default 0.2)
+//   ATR_BENCH_B      — anchor budget b (default 32; paper: 100)
+//   ATR_BENCH_TRIALS — randomized-baseline trials (default 120; paper: 2000)
+double BenchScale();
+uint32_t BenchBudget();
+uint32_t BenchTrials();
+
+// Builds dataset `name` at the given scale and decomposes it.
+DatasetInstance MakeDataset(const std::string& name, double scale);
+
+// All eight stand-ins, in the paper's Table III order. When `limit` > 0,
+// only the `limit` smallest datasets are built (for quicker harness runs).
+std::vector<DatasetInstance> MakeBenchmarkDatasets(double scale,
+                                                   int limit = 0);
+
+}  // namespace atr
+
+#endif  // ATR_EVAL_DATASETS_H_

@@ -1,0 +1,30 @@
+// Upward-route size statistics (the paper's Table IV): for each edge taken
+// as an anchor, the number of candidate edges its upward routes reach.
+
+#ifndef ATR_EVAL_ROUTE_STATS_H_
+#define ATR_EVAL_ROUTE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "truss/decomposition.h"
+
+namespace atr {
+
+struct RouteSizeStats {
+  uint32_t min_size = 0;
+  uint32_t max_size = 0;
+  uint64_t sum_size = 0;
+  double average_size = 0.0;  // sum / |E|
+};
+
+// Route size of every edge (parallelized).
+std::vector<uint32_t> ComputeAllRouteSizes(const Graph& g,
+                                           const TrussDecomposition& decomp);
+
+RouteSizeStats SummarizeRouteSizes(const std::vector<uint32_t>& sizes);
+
+}  // namespace atr
+
+#endif  // ATR_EVAL_ROUTE_STATS_H_

@@ -1,0 +1,79 @@
+#include "graph/edge_list_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+namespace atr {
+namespace {
+
+// Parses a base-10 unsigned integer starting at `*pos`, advancing it.
+// Returns false when no digits are present or on overflow past 2^63.
+bool ParseUint(const char* line, size_t& pos, uint64_t& value) {
+  while (std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+  if (!std::isdigit(static_cast<unsigned char>(line[pos]))) return false;
+  value = 0;
+  while (std::isdigit(static_cast<unsigned char>(line[pos]))) {
+    if (value > (UINT64_MAX - 9) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(line[pos] - '0');
+    ++pos;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Graph> LoadSnapEdgeList(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open edge list: " + path);
+  }
+
+  GraphBuilder builder;
+  std::unordered_map<uint64_t, VertexId> remap;
+  auto dense_id = [&remap](uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  char line[512];
+  size_t line_number = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_number;
+    size_t pos = 0;
+    while (std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+    if (line[pos] == '\0' || line[pos] == '#' || line[pos] == '%') continue;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    if (!ParseUint(line, pos, a) || !ParseUint(line, pos, b)) {
+      std::fclose(file);
+      return Status::InvalidArgument("malformed edge at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    builder.AddEdge(dense_id(a), dense_id(b));
+  }
+  std::fclose(file);
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  std::fprintf(file, "# vertices %u edges %u\n", g.NumVertices(),
+               g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const EdgeEndpoints ends = g.Edge(e);
+    std::fprintf(file, "%u %u\n", ends.u, ends.v);
+  }
+  const bool write_failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (write_failed) return Status::Internal("write error: " + path);
+  return Status::Ok();
+}
+
+}  // namespace atr

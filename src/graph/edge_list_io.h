@@ -1,0 +1,29 @@
+// SNAP-style edge-list text I/O.
+//
+// The loader accepts the format the paper's datasets are distributed in
+// (https://snap.stanford.edu): one edge per line, two whitespace-separated
+// integer vertex ids, with '#' comment lines. Directed inputs are treated as
+// undirected (duplicates and self-loops dropped), and vertex ids are
+// remapped to a dense [0, n) range in order of first appearance.
+
+#ifndef ATR_GRAPH_EDGE_LIST_IO_H_
+#define ATR_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace atr {
+
+// Loads an edge list. Fails with InvalidArgument on malformed lines and
+// NotFound when the file cannot be opened.
+StatusOr<Graph> LoadSnapEdgeList(const std::string& path);
+
+// Writes `g` as "u v" lines (one normalized edge per line), preceded by a
+// '#' header with the vertex/edge counts.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace atr
+
+#endif  // ATR_GRAPH_EDGE_LIST_IO_H_

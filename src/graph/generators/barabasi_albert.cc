@@ -1,0 +1,53 @@
+#include "graph/generators/generators.h"
+
+#include <vector>
+
+#include "util/macros.h"
+#include "util/prng.h"
+
+namespace atr {
+
+Graph BarabasiAlbertGraph(uint32_t num_vertices, uint32_t edges_per_vertex,
+                          uint64_t seed) {
+  ATR_CHECK(edges_per_vertex >= 1);
+  ATR_CHECK(num_vertices > edges_per_vertex);
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  // `targets` holds one entry per edge endpoint, so uniform sampling from it
+  // is sampling proportional to degree (the standard repeated-nodes trick).
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(2ull * num_vertices * edges_per_vertex);
+
+  // Seed clique over the first edges_per_vertex + 1 vertices so every early
+  // vertex has nonzero degree.
+  const uint32_t seed_size = edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> chosen;
+  for (VertexId w = seed_size; w < num_vertices; ++w) {
+    chosen.clear();
+    // Draw `edges_per_vertex` distinct degree-proportional targets.
+    while (chosen.size() < edges_per_vertex) {
+      const VertexId candidate =
+          endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+      bool duplicate = false;
+      for (VertexId existing : chosen) duplicate |= (existing == candidate);
+      if (!duplicate) chosen.push_back(candidate);
+    }
+    for (VertexId target : chosen) {
+      builder.AddEdge(w, target);
+      endpoint_pool.push_back(w);
+      endpoint_pool.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace atr

@@ -1,0 +1,32 @@
+#include "graph/generators/generators.h"
+
+#include <unordered_set>
+
+#include "util/macros.h"
+#include "util/prng.h"
+
+namespace atr {
+
+Graph ErdosRenyiGraph(uint32_t num_vertices, uint32_t num_edges,
+                      uint64_t seed) {
+  ATR_CHECK(num_vertices >= 2);
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  ATR_CHECK_MSG(num_edges <= max_edges, "more edges than the complete graph");
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (seen.size() < num_edges) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace atr

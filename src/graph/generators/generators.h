@@ -1,0 +1,60 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on eight SNAP social/web networks; this environment is
+// offline, so experiments run on deterministic synthetic stand-ins drawn
+// from these families (see generators/social_profiles.h for the mapping).
+// Every generator is a pure function of its parameters and seed.
+
+#ifndef ATR_GRAPH_GENERATORS_GENERATORS_H_
+#define ATR_GRAPH_GENERATORS_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace atr {
+
+// G(n, m): m distinct uniform edges among n vertices.
+Graph ErdosRenyiGraph(uint32_t num_vertices, uint32_t num_edges,
+                      uint64_t seed);
+
+// Preferential attachment: each new vertex attaches to `edges_per_vertex`
+// existing vertices chosen proportionally to degree. Produces power-law
+// degrees but low clustering (citation-network-like).
+Graph BarabasiAlbertGraph(uint32_t num_vertices, uint32_t edges_per_vertex,
+                          uint64_t seed);
+
+// Holme-Kim power-law cluster model: preferential attachment where each
+// additional link follows a triad-closure step with probability
+// `triad_probability`. High clustering + power-law degrees, the profile of
+// friendship networks, and the main source of rich truss structure.
+Graph HolmeKimGraph(uint32_t num_vertices, uint32_t edges_per_vertex,
+                    double triad_probability, uint64_t seed);
+
+// Watts-Strogatz small world: ring lattice with `lattice_degree` (even)
+// neighbors, each edge rewired with probability `rewire_probability`.
+Graph WattsStrogatzGraph(uint32_t num_vertices, uint32_t lattice_degree,
+                         double rewire_probability, uint64_t seed);
+
+// Random geometric graph on the unit square: vertices connect when within
+// `radius`. Location-based check-in networks (Brightkite/Gowalla) have this
+// geometry-dominated structure.
+Graph RandomGeometricGraph(uint32_t num_vertices, double radius,
+                           uint64_t seed);
+
+// R-MAT / Kronecker-style recursive generator (web-graph-like skew).
+// `a + b + c + d` must be ~1; 2^scale vertices, `num_edges` samples.
+Graph RMatGraph(uint32_t scale, uint32_t num_edges, double a, double b,
+                double c, uint64_t seed);
+
+// Dense planted communities over a sparse Erdos-Renyi background:
+// `num_communities` vertex blocks of size `community_size` with internal
+// edge probability `p_in`, plus `background_edges` uniform edges. Creates
+// well-separated truss components across several trussness levels.
+Graph PlantedCommunitiesGraph(uint32_t num_vertices, uint32_t num_communities,
+                              uint32_t community_size, double p_in,
+                              uint32_t background_edges, uint64_t seed);
+
+}  // namespace atr
+
+#endif  // ATR_GRAPH_GENERATORS_GENERATORS_H_

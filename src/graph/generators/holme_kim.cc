@@ -1,0 +1,67 @@
+#include "graph/generators/generators.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/prng.h"
+
+namespace atr {
+
+Graph HolmeKimGraph(uint32_t num_vertices, uint32_t edges_per_vertex,
+                    double triad_probability, uint64_t seed) {
+  ATR_CHECK(edges_per_vertex >= 1);
+  ATR_CHECK(num_vertices > edges_per_vertex);
+  ATR_CHECK(triad_probability >= 0.0 && triad_probability <= 1.0);
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  std::vector<VertexId> endpoint_pool;  // degree-proportional sampling pool
+  std::vector<std::vector<VertexId>> adjacency(num_vertices);
+
+  auto connect = [&](VertexId a, VertexId b) {
+    builder.AddEdge(a, b);
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+    endpoint_pool.push_back(a);
+    endpoint_pool.push_back(b);
+  };
+
+  const uint32_t seed_size = edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) connect(u, v);
+  }
+
+  std::unordered_set<VertexId> linked;  // targets of the current new vertex
+  for (VertexId w = seed_size; w < num_vertices; ++w) {
+    linked.clear();
+    VertexId last_target = kInvalidVertex;
+    for (uint32_t i = 0; i < edges_per_vertex; ++i) {
+      VertexId target = kInvalidVertex;
+      // Triad-closure step: connect to a random neighbor of the previous
+      // preferential target, closing a triangle through it. This is what
+      // gives friendship-network clustering and deep truss levels.
+      if (i > 0 && last_target != kInvalidVertex &&
+          rng.NextBernoulli(triad_probability)) {
+        const std::vector<VertexId>& candidates = adjacency[last_target];
+        for (int attempt = 0; attempt < 8 && target == kInvalidVertex;
+             ++attempt) {
+          const VertexId pick = candidates[rng.NextBounded(candidates.size())];
+          if (pick != w && linked.find(pick) == linked.end()) target = pick;
+        }
+      }
+      // Preferential-attachment fallback (also the i == 0 path).
+      while (target == kInvalidVertex) {
+        const VertexId pick =
+            endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+        if (pick != w && linked.find(pick) == linked.end()) target = pick;
+      }
+      linked.insert(target);
+      connect(w, target);
+      last_target = target;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace atr

@@ -1,0 +1,41 @@
+#include "graph/generators/generators.h"
+
+#include "util/macros.h"
+#include "util/prng.h"
+
+namespace atr {
+
+Graph PlantedCommunitiesGraph(uint32_t num_vertices, uint32_t num_communities,
+                              uint32_t community_size, double p_in,
+                              uint32_t background_edges, uint64_t seed) {
+  ATR_CHECK(community_size >= 3);
+  ATR_CHECK(p_in > 0.0 && p_in <= 1.0);
+  ATR_CHECK(static_cast<uint64_t>(num_communities) * community_size <=
+            num_vertices);
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+
+  // Dense blocks over disjoint vertex ranges. With p_in near 1 these are
+  // near-cliques, planting high-trussness components of size
+  // ~community_size + 1 trussness.
+  for (uint32_t cidx = 0; cidx < num_communities; ++cidx) {
+    const VertexId base = cidx * community_size;
+    for (uint32_t i = 0; i < community_size; ++i) {
+      for (uint32_t j = i + 1; j < community_size; ++j) {
+        if (rng.NextBernoulli(p_in)) builder.AddEdge(base + i, base + j);
+      }
+    }
+  }
+
+  // Sparse uniform background stitching communities together (duplicates
+  // with block edges are merged by the builder).
+  for (uint32_t i = 0; i < background_edges; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace atr

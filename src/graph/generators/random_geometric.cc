@@ -1,0 +1,62 @@
+#include "graph/generators/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/prng.h"
+
+namespace atr {
+
+Graph RandomGeometricGraph(uint32_t num_vertices, double radius,
+                           uint64_t seed) {
+  ATR_CHECK(radius > 0.0 && radius < 1.0);
+
+  Rng rng(seed);
+  std::vector<double> x(num_vertices);
+  std::vector<double> y(num_vertices);
+  for (uint32_t i = 0; i < num_vertices; ++i) {
+    x[i] = rng.NextDouble();
+    y[i] = rng.NextDouble();
+  }
+
+  // Grid bucketing with cell size `radius`: neighbors can only be in the
+  // 3x3 cell neighborhood, making the sweep near-linear.
+  const uint32_t cells = std::max<uint32_t>(1, static_cast<uint32_t>(1.0 / radius));
+  const double cell_size = 1.0 / cells;
+  std::vector<std::vector<VertexId>> grid(
+      static_cast<size_t>(cells) * cells);
+  auto cell_index = [&](double coord) {
+    uint32_t c = static_cast<uint32_t>(coord / cell_size);
+    return std::min(c, cells - 1);
+  };
+  for (VertexId i = 0; i < num_vertices; ++i) {
+    grid[cell_index(x[i]) * cells + cell_index(y[i])].push_back(i);
+  }
+
+  const double r2 = radius * radius;
+  GraphBuilder builder(num_vertices);
+  for (VertexId i = 0; i < num_vertices; ++i) {
+    const uint32_t ci = cell_index(x[i]);
+    const uint32_t cj = cell_index(y[i]);
+    for (int di = -1; di <= 1; ++di) {
+      for (int dj = -1; dj <= 1; ++dj) {
+        const int ni = static_cast<int>(ci) + di;
+        const int nj = static_cast<int>(cj) + dj;
+        if (ni < 0 || nj < 0 || ni >= static_cast<int>(cells) ||
+            nj >= static_cast<int>(cells)) {
+          continue;
+        }
+        for (VertexId j : grid[static_cast<size_t>(ni) * cells + nj]) {
+          if (j <= i) continue;  // each pair once
+          const double dx = x[i] - x[j];
+          const double dy = y[i] - y[j];
+          if (dx * dx + dy * dy <= r2) builder.AddEdge(i, j);
+        }
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace atr

@@ -1,0 +1,45 @@
+#include "graph/generators/generators.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/prng.h"
+
+namespace atr {
+
+Graph RMatGraph(uint32_t scale, uint32_t num_edges, double a, double b,
+                double c, uint64_t seed) {
+  ATR_CHECK(scale >= 1 && scale <= 30);
+  const double d = 1.0 - a - b - c;
+  ATR_CHECK_MSG(d > -1e-9, "R-MAT quadrant probabilities exceed 1");
+
+  Rng rng(seed);
+  GraphBuilder builder(1u << scale);
+  // Oversample: self-loops and duplicates are dropped by the builder, and
+  // R-MAT naturally produces repeats in its dense corner.
+  const uint32_t attempts = num_edges + num_edges / 4;
+  for (uint32_t i = 0; i < attempts && builder.PendingEdges() < num_edges;
+       ++i) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double roll = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (roll < a) {
+        // top-left quadrant: no bits set
+      } else if (roll < a + b) {
+        v |= 1;
+      } else if (roll < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace atr

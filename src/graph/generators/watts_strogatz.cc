@@ -1,0 +1,45 @@
+#include "graph/generators/generators.h"
+
+#include <unordered_set>
+
+#include "util/macros.h"
+#include "util/prng.h"
+
+namespace atr {
+
+Graph WattsStrogatzGraph(uint32_t num_vertices, uint32_t lattice_degree,
+                         double rewire_probability, uint64_t seed) {
+  ATR_CHECK(lattice_degree >= 2 && lattice_degree % 2 == 0);
+  ATR_CHECK(num_vertices > lattice_degree);
+  ATR_CHECK(rewire_probability >= 0.0 && rewire_probability <= 1.0);
+
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  std::unordered_set<uint64_t> present;
+  auto key = [](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+
+  const uint32_t half = lattice_degree / 2;
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (uint32_t offset = 1; offset <= half; ++offset) {
+      VertexId v = (u + offset) % num_vertices;
+      // Rewire the lattice edge's far endpoint with probability p.
+      if (rng.NextBernoulli(rewire_probability)) {
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const VertexId candidate =
+              static_cast<VertexId>(rng.NextBounded(num_vertices));
+          if (candidate == u) continue;
+          if (present.find(key(u, candidate)) != present.end()) continue;
+          v = candidate;
+          break;
+        }
+      }
+      if (present.insert(key(u, v)).second) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace atr

@@ -1,0 +1,74 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace atr {
+
+EdgeId Graph::FindEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices_ || v >= num_vertices_ || u == v) return kInvalidEdge;
+  // Search the smaller adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  std::span<const AdjEntry> nbrs = Neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const AdjEntry& a, VertexId target) { return a.neighbor < target; });
+  if (it != nbrs.end() && it->neighbor == v) return it->edge;
+  return kInvalidEdge;
+}
+
+uint64_t Graph::TriangleWorkBound() const {
+  uint64_t total = 0;
+  for (const EdgeEndpoints& e : edges_) {
+    total += std::min(Degree(e.u), Degree(e.v));
+  }
+  return total;
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  num_vertices_ = std::max(num_vertices_, v + 1);
+  pending_.push_back(EdgeEndpoints{u, v});
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(pending_.begin(), pending_.end(),
+            [](EdgeEndpoints a, EdgeEndpoints b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+
+  Graph g;
+  g.num_vertices_ = num_vertices_;
+  g.edges_ = std::move(pending_);
+  pending_.clear();
+
+  const uint32_t n = g.num_vertices_;
+  const uint32_t m = static_cast<uint32_t>(g.edges_.size());
+  std::vector<uint32_t> degree(n, 0);
+  for (const EdgeEndpoints& e : g.edges_) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  g.adj_.resize(2ull * m);
+  std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const EdgeEndpoints ends = g.edges_[e];
+    g.adj_[cursor[ends.u]++] = AdjEntry{ends.v, e};
+    g.adj_[cursor[ends.v]++] = AdjEntry{ends.u, e};
+  }
+  // Edges were added in (u, v) order, so each vertex's higher neighbors are
+  // already sorted, but lower neighbors interleave; sort each range.
+  for (uint32_t v = 0; v < n; ++v) {
+    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1],
+              [](const AdjEntry& a, const AdjEntry& b) {
+                return a.neighbor < b.neighbor;
+              });
+  }
+  return g;
+}
+
+}  // namespace atr

@@ -1,0 +1,126 @@
+// Immutable undirected simple graph in CSR form with dense edge ids.
+//
+// Every algorithm in this repository is edge-centric (truss decomposition,
+// followers, anchoring), so edges carry first-class ids 0..m-1 and the
+// adjacency stores (neighbor, edge id) pairs sorted by neighbor, giving
+// O(log d) edge lookup and O(d(u) + d(v)) or O(min(d) * log max(d)) common
+// neighbor iteration.
+//
+// Graphs are built through GraphBuilder, which deduplicates parallel edges
+// and drops self-loops; topology is immutable afterwards. Anchoring never
+// mutates the graph (anchors are flags interpreted by the truss layer).
+
+#ifndef ATR_GRAPH_GRAPH_H_
+#define ATR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace atr {
+
+using VertexId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr EdgeId kInvalidEdge = 0xffffffffu;
+inline constexpr VertexId kInvalidVertex = 0xffffffffu;
+
+// Endpoints of an undirected edge, normalized so that u < v.
+struct EdgeEndpoints {
+  VertexId u;
+  VertexId v;
+};
+
+inline bool operator==(EdgeEndpoints a, EdgeEndpoints b) {
+  return a.u == b.u && a.v == b.v;
+}
+
+// One adjacency slot: the neighbor vertex and the id of the connecting edge.
+struct AdjEntry {
+  VertexId neighbor;
+  EdgeId edge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  uint32_t NumVertices() const { return num_vertices_; }
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+
+  // Endpoints of edge `e` with u < v.
+  EdgeEndpoints Edge(EdgeId e) const {
+    ATR_DCHECK(e < edges_.size());
+    return edges_[e];
+  }
+
+  uint32_t Degree(VertexId u) const {
+    ATR_DCHECK(u < num_vertices_);
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  // Neighbors of `u` sorted by neighbor id.
+  std::span<const AdjEntry> Neighbors(VertexId u) const {
+    ATR_DCHECK(u < num_vertices_);
+    return std::span<const AdjEntry>(adj_.data() + offsets_[u],
+                                     offsets_[u + 1] - offsets_[u]);
+  }
+
+  // Returns the id of edge {u, v}, or kInvalidEdge when absent.
+  // O(log min(d(u), d(v))).
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  bool HasEdge(VertexId u, VertexId v) const {
+    return FindEdge(u, v) != kInvalidEdge;
+  }
+
+  // Sum over edges of min(d(u), d(v)); the classic O(m^1.5)-style cost bound
+  // for triangle work on this graph. Used by benches to report workload size.
+  uint64_t TriangleWorkBound() const;
+
+  const std::vector<EdgeEndpoints>& edges() const { return edges_; }
+
+ private:
+  friend class GraphBuilder;
+
+  uint32_t num_vertices_ = 0;
+  std::vector<uint32_t> offsets_;  // size num_vertices_ + 1
+  std::vector<AdjEntry> adj_;      // size 2m, sorted per vertex
+  std::vector<EdgeEndpoints> edges_;
+};
+
+// Accumulates an edge list and produces a normalized Graph: self-loops
+// dropped, duplicates (in either orientation) merged, adjacency sorted, edge
+// ids assigned in the order edges were first added (after dedup, sorted by
+// (u, v) to make ids independent of insertion order).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(uint32_t num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  // Adds the undirected edge {u, v}; grows the vertex count as needed.
+  void AddEdge(VertexId u, VertexId v);
+
+  // Number of (not yet deduplicated) edges added so far.
+  size_t PendingEdges() const { return pending_.size(); }
+
+  uint32_t NumVertices() const { return num_vertices_; }
+
+  // Builds the graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  uint32_t num_vertices_;
+  std::vector<EdgeEndpoints> pending_;
+};
+
+}  // namespace atr
+
+#endif  // ATR_GRAPH_GRAPH_H_

@@ -1,0 +1,96 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/macros.h"
+
+namespace atr {
+
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices,
+                      std::vector<VertexId>* old_to_new) {
+  std::vector<VertexId> map(g.NumVertices(), kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v : vertices) {
+    ATR_CHECK(v < g.NumVertices());
+    if (map[v] == kInvalidVertex) map[v] = next++;
+  }
+  GraphBuilder builder(next);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const EdgeEndpoints ends = g.Edge(e);
+    if (map[ends.u] != kInvalidVertex && map[ends.v] != kInvalidVertex) {
+      builder.AddEdge(map[ends.u], map[ends.v]);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return builder.Build();
+}
+
+Graph EdgeSubgraph(const Graph& g, const std::vector<EdgeId>& edge_ids) {
+  GraphBuilder builder(g.NumVertices());
+  for (EdgeId e : edge_ids) {
+    ATR_CHECK(e < g.NumEdges());
+    const EdgeEndpoints ends = g.Edge(e);
+    builder.AddEdge(ends.u, ends.v);
+  }
+  return builder.Build();
+}
+
+Graph SampleEdges(const Graph& g, double fraction, Rng& rng) {
+  ATR_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const uint32_t m = g.NumEdges();
+  const uint32_t keep =
+      static_cast<uint32_t>(fraction * static_cast<double>(m) + 0.5);
+  std::vector<uint32_t> chosen = rng.SampleWithoutReplacement(m, keep);
+  std::vector<EdgeId> edges(chosen.begin(), chosen.end());
+  return EdgeSubgraph(g, edges);
+}
+
+Graph SampleVertices(const Graph& g, double fraction, Rng& rng) {
+  ATR_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const uint32_t n = g.NumVertices();
+  const uint32_t keep =
+      static_cast<uint32_t>(fraction * static_cast<double>(n) + 0.5);
+  std::vector<uint32_t> chosen = rng.SampleWithoutReplacement(n, keep);
+  std::vector<VertexId> vertices(chosen.begin(), chosen.end());
+  return InducedSubgraph(g, vertices);
+}
+
+Graph ExtractEgoBall(const Graph& g, VertexId seed, uint32_t min_edges,
+                     uint32_t max_edges) {
+  ATR_CHECK(seed < g.NumVertices());
+  ATR_CHECK(min_edges <= max_edges);
+  std::vector<bool> in_ball(g.NumVertices(), false);
+  std::vector<VertexId> ball;
+  std::deque<VertexId> frontier;
+  in_ball[seed] = true;
+  ball.push_back(seed);
+  frontier.push_back(seed);
+  uint32_t induced_edges = 0;
+
+  // Grow one vertex at a time so we can stop precisely inside the window.
+  while (!frontier.empty() && induced_edges < min_edges) {
+    const VertexId u = frontier.front();
+    frontier.pop_front();
+    for (const AdjEntry& entry : g.Neighbors(u)) {
+      const VertexId w = entry.neighbor;
+      if (in_ball[w]) continue;
+      // Adding w contributes one induced edge per already-included neighbor.
+      uint32_t new_edges = 0;
+      for (const AdjEntry& wn : g.Neighbors(w)) {
+        if (in_ball[wn.neighbor]) ++new_edges;
+      }
+      if (induced_edges + new_edges > max_edges && induced_edges >= min_edges) {
+        break;
+      }
+      in_ball[w] = true;
+      ball.push_back(w);
+      frontier.push_back(w);
+      induced_edges += new_edges;
+      if (induced_edges >= min_edges) break;
+    }
+  }
+  return InducedSubgraph(g, ball);
+}
+
+}  // namespace atr

@@ -1,0 +1,42 @@
+// Subgraph extraction and sampling, used by the experiment harnesses:
+//  * vertex-induced subgraphs (Exp-6 scalability: sample |V|),
+//  * edge-sampled subgraphs (Exp-6 scalability: sample |E|),
+//  * ego-ball extraction of 150-250 edge fragments, the method of Linghu et
+//    al. [3] the paper uses to make Exact tractable (Exp-2).
+
+#ifndef ATR_GRAPH_SUBGRAPH_H_
+#define ATR_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/prng.h"
+
+namespace atr {
+
+// Subgraph induced by `vertices` (deduplicated); vertices are relabeled to
+// [0, k) following their order in the input. When `old_to_new` is non-null
+// it receives the mapping (kInvalidVertex for dropped vertices).
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices,
+                      std::vector<VertexId>* old_to_new = nullptr);
+
+// Keeps each edge listed in `edge_ids`; vertex set is preserved (isolated
+// vertices remain so vertex ids stay stable).
+Graph EdgeSubgraph(const Graph& g, const std::vector<EdgeId>& edge_ids);
+
+// Uniformly samples round(fraction * m) edges; vertex set preserved.
+Graph SampleEdges(const Graph& g, double fraction, Rng& rng);
+
+// Uniformly samples round(fraction * n) vertices and returns the induced
+// subgraph (relabeled).
+Graph SampleVertices(const Graph& g, double fraction, Rng& rng);
+
+// BFS ball around `seed` grown vertex-by-vertex until the induced subgraph
+// has at least `min_edges` edges (or the component is exhausted); stops
+// before exceeding `max_edges` when possible. Returns the induced subgraph.
+Graph ExtractEgoBall(const Graph& g, VertexId seed, uint32_t min_edges,
+                     uint32_t max_edges);
+
+}  // namespace atr
+
+#endif  // ATR_GRAPH_SUBGRAPH_H_

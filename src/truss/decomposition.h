@@ -1,0 +1,83 @@
+// Truss decomposition with peeling layers and anchored-edge support
+// (Algorithm 1 of the paper, extended as §II requires for anchored graphs).
+//
+// For every edge the decomposition produces:
+//  * trussness t(e): the largest k such that a k-truss contains e, and
+//  * layer l(e): the batch-peeling round within e's k-hull in which e was
+//    removed (Definition 5 context; L^i_k in the paper). Layers drive the
+//    deletion order `≺` that the upward-route machinery relies on.
+//
+// Anchored edges have infinite support by definition, are never peeled, and
+// report the kAnchoredTrussness sentinel; because peeling rounds are
+// per-triangle-connected-component by construction, layers computed on a
+// component in isolation equal the layers computed on the whole graph, which
+// is what makes the GAS local-rebuild (Algorithm 5) exact.
+
+#ifndef ATR_TRUSS_DECOMPOSITION_H_
+#define ATR_TRUSS_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace atr {
+
+// Sentinel trussness for anchored edges: compares greater than any real
+// trussness so anchors sort last in the deletion order.
+inline constexpr uint32_t kAnchoredTrussness = 0xffffffffu;
+
+// Sentinel for edges outside the requested edge subset.
+inline constexpr uint32_t kTrussnessNotComputed = 0;
+
+// Decomposition result; indexed by EdgeId.
+struct TrussDecomposition {
+  std::vector<uint32_t> trussness;
+  std::vector<uint32_t> layer;
+  // Maximum trussness over non-anchored edges (>= 2 when any edge exists).
+  uint32_t max_trussness = 2;
+
+  bool IsAnchored(EdgeId e) const {
+    return trussness[e] == kAnchoredTrussness;
+  }
+
+  // The paper's total order contribution: e1 "is deleted no later than" e2.
+  // e1 ≺ e2  iff  t(e1) < t(e2), or t(e1) == t(e2) and l(e1) <= l(e2).
+  // Anchors compare as +inf trussness (never deleted).
+  bool Precedes(EdgeId e1, EdgeId e2) const {
+    const uint32_t t1 = trussness[e1];
+    const uint32_t t2 = trussness[e2];
+    if (t1 != t2) return t1 < t2;
+    return layer[e1] <= layer[e2];
+  }
+
+  // Strict variant used for seed condition (i) of Lemma 2:
+  // t(e1) < t(e2) or (equal trussness and l(e1) < l(e2)).
+  bool StrictlyPrecedes(EdgeId e1, EdgeId e2) const {
+    const uint32_t t1 = trussness[e1];
+    const uint32_t t2 = trussness[e2];
+    if (t1 != t2) return t1 < t2;
+    return layer[e1] < layer[e2];
+  }
+};
+
+// Full-graph decomposition. `anchored` is either empty (no anchors) or a
+// size-m mask; anchored edges are retained throughout peeling.
+TrussDecomposition ComputeTrussDecomposition(
+    const Graph& g, const std::vector<bool>& anchored = {});
+
+// Restricted decomposition over the subgraph formed by `edge_subset`
+// (anchored edges that the caller wants present must be listed too).
+// Edges outside the subset get trussness kTrussnessNotComputed and do not
+// participate in triangles. Used by the GAS local subtree rebuild.
+TrussDecomposition ComputeTrussDecompositionOnSubset(
+    const Graph& g, const std::vector<bool>& anchored,
+    const std::vector<EdgeId>& edge_subset);
+
+// Sizes of each k-hull H_k(G) = {e : t(e) == k}, indexed by k (size
+// max_trussness + 1). Anchors are excluded.
+std::vector<uint32_t> HullSizes(const TrussDecomposition& decomp);
+
+}  // namespace atr
+
+#endif  // ATR_TRUSS_DECOMPOSITION_H_

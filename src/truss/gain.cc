@@ -1,0 +1,52 @@
+#include "truss/gain.h"
+
+#include "util/macros.h"
+
+namespace atr {
+
+uint64_t TrussnessGain(const Graph& g, const TrussDecomposition& base,
+                       const std::vector<bool>& base_anchored,
+                       const std::vector<EdgeId>& anchor_set) {
+  const uint32_t m = g.NumEdges();
+  std::vector<bool> anchored =
+      base_anchored.empty() ? std::vector<bool>(m, false) : base_anchored;
+  ATR_CHECK(anchored.size() == m);
+  for (EdgeId e : anchor_set) {
+    ATR_CHECK(e < m);
+    anchored[e] = true;
+  }
+  const TrussDecomposition after = ComputeTrussDecomposition(g, anchored);
+
+  uint64_t gain = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (anchored[e]) continue;  // Definition 4 sums over E \ A.
+    const uint32_t before = base.trussness[e];
+    const uint32_t now = after.trussness[e];
+    ATR_DCHECK(before != kAnchoredTrussness);
+    ATR_DCHECK(now >= before);  // anchoring never lowers trussness
+    gain += now - before;
+  }
+  return gain;
+}
+
+std::vector<EdgeId> BruteForceFollowers(const Graph& g,
+                                        const TrussDecomposition& base,
+                                        const std::vector<bool>& anchored,
+                                        EdgeId x) {
+  const uint32_t m = g.NumEdges();
+  std::vector<bool> mask =
+      anchored.empty() ? std::vector<bool>(m, false) : anchored;
+  ATR_CHECK(x < m);
+  ATR_CHECK_MSG(!mask[x], "anchor candidate is already anchored");
+  mask[x] = true;
+  const TrussDecomposition after = ComputeTrussDecomposition(g, mask);
+
+  std::vector<EdgeId> followers;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (mask[e]) continue;
+    if (after.trussness[e] > base.trussness[e]) followers.push_back(e);
+  }
+  return followers;
+}
+
+}  // namespace atr

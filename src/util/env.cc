@@ -1,0 +1,34 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace atr {
+
+int64_t GetEnvInt64(const char* name, int64_t default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return default_value;
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0') return default_value;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return default_value;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(raw, &end);
+  if (errno != 0 || end == raw || *end != '\0') return default_value;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return default_value;
+  return std::string(raw);
+}
+
+}  // namespace atr

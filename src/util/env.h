@@ -1,0 +1,27 @@
+// Environment-variable knobs for the benchmark harnesses.
+//
+// Benchmarks are invoked without CLI arguments (`for b in build/bench/*; do
+// $b; done`), so runtime scaling is controlled through ATR_* environment
+// variables. Each bench prints the effective values it used.
+
+#ifndef ATR_UTIL_ENV_H_
+#define ATR_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace atr {
+
+// Returns the value of env var `name` parsed as int64, or `default_value`
+// when unset or unparsable.
+int64_t GetEnvInt64(const char* name, int64_t default_value);
+
+// Returns the value of env var `name` parsed as double, or `default_value`.
+double GetEnvDouble(const char* name, double default_value);
+
+// Returns the value of env var `name`, or `default_value` when unset.
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+}  // namespace atr
+
+#endif  // ATR_UTIL_ENV_H_

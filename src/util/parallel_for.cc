@@ -1,0 +1,42 @@
+#include "util/parallel_for.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/env.h"
+
+namespace atr {
+
+int ParallelWorkerCount() {
+  static const int count = [] {
+    int64_t requested = GetEnvInt64("ATR_THREADS", 0);
+    if (requested > 0) return static_cast<int>(requested);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return count;
+}
+
+void ParallelFor(int64_t n,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  const int workers =
+      static_cast<int>(std::min<int64_t>(ParallelWorkerCount(), n));
+  if (workers == 1) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const int64_t chunk = (n + workers - 1) / workers;
+  for (int w = 0; w < workers; ++w) {
+    const int64_t begin = w * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace atr

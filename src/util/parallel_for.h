@@ -1,0 +1,28 @@
+// Deterministic data-parallel loop used by the embarrassingly parallel
+// pieces of the harness (Exact subset enumeration, randomized-baseline
+// trials). Work is split into fixed contiguous chunks per worker so results
+// folded per-chunk in index order are reproducible regardless of thread
+// scheduling.
+
+#ifndef ATR_UTIL_PARALLEL_FOR_H_
+#define ATR_UTIL_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace atr {
+
+// Number of workers ParallelFor uses: ATR_THREADS env override, else
+// hardware_concurrency(), at least 1.
+int ParallelWorkerCount();
+
+// Invokes `body(begin, end)` over a partition of [0, n) into at most
+// `ParallelWorkerCount()` contiguous chunks, one thread per chunk. `body`
+// must be safe to call concurrently on disjoint ranges. Runs inline when n
+// is small or only one worker is available.
+void ParallelFor(int64_t n,
+                 const std::function<void(int64_t begin, int64_t end)>& body);
+
+}  // namespace atr
+
+#endif  // ATR_UTIL_PARALLEL_FOR_H_

@@ -1,0 +1,22 @@
+#include "util/prng.h"
+
+namespace atr {
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  ATR_CHECK(k <= n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  // Knuth's selection sampling (Algorithm S): one pass, O(n) time, sorted
+  // output, no auxiliary n-sized allocation.
+  uint32_t remaining = k;
+  for (uint32_t i = 0; i < n && remaining > 0; ++i) {
+    // Select i with probability remaining / (n - i).
+    if (NextBounded(n - i) < remaining) {
+      out.push_back(i);
+      --remaining;
+    }
+  }
+  return out;
+}
+
+}  // namespace atr

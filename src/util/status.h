@@ -1,0 +1,97 @@
+// Minimal Status / StatusOr error model (the library builds without
+// exceptions; recoverable failures flow through these types).
+//
+// Usage:
+//   atr::StatusOr<Graph> g = LoadSnapEdgeList(path);
+//   if (!g.ok()) { ... g.status().message() ... }
+
+#ifndef ATR_UTIL_STATUS_H_
+#define ATR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace atr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kInternal = 4,
+};
+
+// Value-semantic error carrier. An engaged message is only present for
+// non-OK statuses.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or a non-OK Status. Accessing value() on an
+// errored StatusOr aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  StatusOr(T value) : status_(), value_(std::move(value)), has_value_(true) {}
+  StatusOr(Status status) : status_(std::move(status)), has_value_(false) {
+    ATR_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ATR_CHECK_MSG(has_value_, status_.message().c_str());
+    return value_;
+  }
+  T& value() & {
+    ATR_CHECK_MSG(has_value_, status_.message().c_str());
+    return value_;
+  }
+  T&& value() && {
+    ATR_CHECK_MSG(has_value_, status_.message().c_str());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_;
+};
+
+}  // namespace atr
+
+#endif  // ATR_UTIL_STATUS_H_

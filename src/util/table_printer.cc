@@ -1,0 +1,78 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace atr {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      out << row[c] << std::string(width[c] - row[c].size(), ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-") << std::string(width[c], '-') << "-|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const {
+  std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::FormatInt(int64_t v) {
+  // Thousands separators make the dataset-statistics tables readable.
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%lld", static_cast<long long>(v));
+  std::string raw(digits);
+  std::string out;
+  size_t start = (raw[0] == '-') ? 1 : 0;
+  out.append(raw, 0, start);
+  const size_t len = raw.size() - start;
+  for (size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out.push_back(',');
+    out.push_back(raw[start + i]);
+  }
+  return out;
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+std::string TablePrinter::FormatSeconds(double seconds) {
+  return FormatDouble(seconds, 3);
+}
+
+std::string TablePrinter::FormatPercent(double fraction) {
+  return FormatDouble(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace atr

@@ -1,0 +1,46 @@
+// Console table rendering for the benchmark harnesses. Produces the aligned
+// rows the paper's tables report (Table III, Table IV, Table V, ...).
+
+#ifndef ATR_UTIL_TABLE_PRINTER_H_
+#define ATR_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atr {
+
+// Collects rows of string cells and renders them with per-column alignment.
+// Example:
+//   TablePrinter t({"Dataset", "|V|", "|E|", "k_max"});
+//   t.AddRow({"college", "1899", "13838", "7"});
+//   t.Print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends one row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders to stdout with a separator under the header.
+  void Print() const;
+
+  // Renders into a string (used by tests).
+  std::string ToString() const;
+
+  // Numeric formatting helpers shared by the benches.
+  static std::string FormatInt(int64_t v);
+  static std::string FormatDouble(double v, int precision);
+  // Seconds with ms resolution, e.g. "12.345".
+  static std::string FormatSeconds(double seconds);
+  // Percentage with one decimal, e.g. "81.7%".
+  static std::string FormatPercent(double fraction);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace atr
+
+#endif  // ATR_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,63 @@
+// Tests for the evaluation substrate: dataset registry and route-size stats.
+
+#include <gtest/gtest.h>
+
+#include "eval/datasets.h"
+#include "eval/route_stats.h"
+#include "route/follower_search.h"
+#include "tests/paper_fixtures.h"
+#include "tests/test_helpers.h"
+
+namespace atr {
+namespace {
+
+TEST(Datasets, InstanceCarriesConsistentStats) {
+  const DatasetInstance instance = MakeDataset("college", 0.05);
+  EXPECT_EQ(instance.name, "college");
+  EXPECT_GT(instance.graph.NumEdges(), 0u);
+  EXPECT_EQ(instance.k_max, instance.decomposition.max_trussness);
+  EXPECT_GT(instance.k_max, 2u);
+  EXPECT_GT(instance.sup_max, 0u);
+}
+
+TEST(Datasets, LimitRestrictsTheRegistry) {
+  const std::vector<DatasetInstance> two = MakeBenchmarkDatasets(0.02, 2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].name, "college");
+  EXPECT_EQ(two[1].name, "facebook");
+}
+
+TEST(RouteStats, MatchesDirectRouteQueries) {
+  const Graph g = MakeFig3Graph();
+  const TrussDecomposition d = ComputeTrussDecomposition(g);
+  const std::vector<uint32_t> sizes = ComputeAllRouteSizes(g, d);
+  FollowerSearch search(g);
+  search.SetState(&d, nullptr);
+  ASSERT_EQ(sizes.size(), g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(sizes[e], search.RouteSize(e)) << "edge " << e;
+  }
+}
+
+TEST(RouteStats, SummaryIsConsistent) {
+  const Graph g = MakePropertyGraph(5);
+  const TrussDecomposition d = ComputeTrussDecomposition(g);
+  const std::vector<uint32_t> sizes = ComputeAllRouteSizes(g, d);
+  const RouteSizeStats stats = SummarizeRouteSizes(sizes);
+  uint64_t sum = 0;
+  uint32_t max = 0;
+  uint32_t min = sizes.empty() ? 0 : sizes[0];
+  for (uint32_t s : sizes) {
+    sum += s;
+    max = std::max(max, s);
+    min = std::min(min, s);
+  }
+  EXPECT_EQ(stats.sum_size, sum);
+  EXPECT_EQ(stats.max_size, max);
+  EXPECT_EQ(stats.min_size, min);
+  EXPECT_DOUBLE_EQ(stats.average_size,
+                   static_cast<double>(sum) / sizes.size());
+}
+
+}  // namespace
+}  // namespace atr

@@ -1,0 +1,126 @@
+// Tests for the synthetic graph generators and the SNAP stand-in profiles.
+
+#include "graph/generators/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/social_profiles.h"
+#include "graph/triangles.h"
+
+namespace atr {
+namespace {
+
+void ExpectSimpleGraph(const Graph& g) {
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const EdgeEndpoints ends = g.Edge(e);
+    EXPECT_LT(ends.u, ends.v);
+    EXPECT_LT(ends.v, g.NumVertices());
+  }
+}
+
+bool SameEdges(const Graph& a, const Graph& b) {
+  if (a.NumEdges() != b.NumEdges()) return false;
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    if (!(a.Edge(e) == b.Edge(e))) return false;
+  }
+  return true;
+}
+
+TEST(Generators, ErdosRenyiExactEdgeCount) {
+  const Graph g = ErdosRenyiGraph(100, 300, 7);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 300u);
+  ExpectSimpleGraph(g);
+}
+
+TEST(Generators, ErdosRenyiCompleteGraphBoundary) {
+  const Graph g = ErdosRenyiGraph(6, 15, 1);  // K6 has exactly 15 edges
+  EXPECT_EQ(g.NumEdges(), 15u);
+}
+
+TEST(Generators, BarabasiAlbertDegreesAndSize) {
+  const uint32_t n = 200;
+  const uint32_t m_per = 3;
+  const Graph g = BarabasiAlbertGraph(n, m_per, 11);
+  EXPECT_EQ(g.NumVertices(), n);
+  // Seed clique of m_per+1 vertices plus m_per edges per later vertex.
+  const uint32_t expected = m_per * (m_per + 1) / 2 + (n - m_per - 1) * m_per;
+  EXPECT_EQ(g.NumEdges(), expected);
+  for (VertexId v = 0; v < n; ++v) EXPECT_GE(g.Degree(v), m_per);
+}
+
+TEST(Generators, HolmeKimIsTriangleRich) {
+  const Graph clustered = HolmeKimGraph(300, 4, 0.9, 5);
+  const Graph plain = BarabasiAlbertGraph(300, 4, 5);
+  ExpectSimpleGraph(clustered);
+  // Triad closure must produce far more triangles than plain preferential
+  // attachment at the same density.
+  EXPECT_GT(CountTriangles(clustered), 2 * CountTriangles(plain));
+}
+
+TEST(Generators, WattsStrogatzZeroRewireIsRingLattice) {
+  const Graph g = WattsStrogatzGraph(40, 6, 0.0, 3);
+  EXPECT_EQ(g.NumEdges(), 40u * 3u);
+  for (VertexId v = 0; v < 40; ++v) EXPECT_EQ(g.Degree(v), 6u);
+}
+
+TEST(Generators, RandomGeometricEdgesRespectRadius) {
+  const Graph g = RandomGeometricGraph(500, 0.08, 9);
+  ExpectSimpleGraph(g);
+  EXPECT_GT(g.NumEdges(), 0u);
+  // Geometric graphs are triangle-rich by construction.
+  EXPECT_GT(CountTriangles(g), 0u);
+}
+
+TEST(Generators, RMatRespectsVertexBound) {
+  const Graph g = RMatGraph(10, 3000, 0.57, 0.19, 0.19, 13);
+  EXPECT_LE(g.NumVertices(), 1u << 10);
+  ExpectSimpleGraph(g);
+}
+
+TEST(Generators, PlantedCommunitiesContainDenseBlocks) {
+  const Graph g = PlantedCommunitiesGraph(100, 5, 10, 1.0, 0, 17);
+  // Five disjoint 10-cliques, no background.
+  EXPECT_EQ(g.NumEdges(), 5u * 45u);
+}
+
+TEST(Generators, DeterministicAcrossCalls) {
+  EXPECT_TRUE(SameEdges(ErdosRenyiGraph(60, 150, 42),
+                        ErdosRenyiGraph(60, 150, 42)));
+  EXPECT_TRUE(SameEdges(HolmeKimGraph(80, 3, 0.7, 42),
+                        HolmeKimGraph(80, 3, 0.7, 42)));
+  EXPECT_TRUE(SameEdges(RMatGraph(8, 500, 0.6, 0.15, 0.15, 42),
+                        RMatGraph(8, 500, 0.6, 0.15, 0.15, 42)));
+  EXPECT_FALSE(SameEdges(ErdosRenyiGraph(60, 150, 42),
+                         ErdosRenyiGraph(60, 150, 43)));
+}
+
+TEST(SocialProfiles, SpecsListTheEightPaperDatasets) {
+  const std::vector<DatasetSpec> specs = SocialProfileSpecs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "college");
+  EXPECT_EQ(specs[7].name, "pokec");
+  for (const DatasetSpec& spec : specs) {
+    EXPECT_FALSE(spec.provenance.empty()) << spec.name;
+  }
+}
+
+TEST(SocialProfiles, AllBuildAtTinyScaleAndAreDeterministic) {
+  for (const DatasetSpec& spec : SocialProfileSpecs()) {
+    const Graph g1 = MakeSocialProfile(spec.name, 0.02, 0);
+    const Graph g2 = MakeSocialProfile(spec.name, 0.02, 0);
+    EXPECT_GT(g1.NumEdges(), 0u) << spec.name;
+    EXPECT_TRUE(SameEdges(g1, g2)) << spec.name;
+    ExpectSimpleGraph(g1);
+  }
+}
+
+TEST(SocialProfiles, ScaleGrowsTheGraph) {
+  const Graph small = MakeSocialProfile("youtube", 0.02, 0);
+  const Graph larger = MakeSocialProfile("youtube", 0.06, 0);
+  EXPECT_GT(larger.NumVertices(), small.NumVertices());
+  EXPECT_GT(larger.NumEdges(), small.NumEdges());
+}
+
+}  // namespace
+}  // namespace atr

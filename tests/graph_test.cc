@@ -1,0 +1,138 @@
+// Tests for the CSR graph, builder normalization, and the triangle engine.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/triangles.h"
+#include "tests/test_helpers.h"
+
+namespace atr {
+namespace {
+
+TEST(GraphBuilder, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // duplicate, reversed
+  b.AddEdge(2, 2);  // self loop
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 2);  // duplicate
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+}
+
+TEST(GraphBuilder, GrowsVertexCountFromEdges) {
+  GraphBuilder b;
+  b.AddEdge(5, 9);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.Degree(9), 1u);
+  EXPECT_EQ(g.Degree(0), 0u);
+}
+
+TEST(GraphBuilder, EdgeIdsAreSortedByEndpoints) {
+  GraphBuilder b(4);
+  b.AddEdge(2, 3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 3);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.Edge(0), (EdgeEndpoints{0, 1}));
+  EXPECT_EQ(g.Edge(1), (EdgeEndpoints{1, 3}));
+  EXPECT_EQ(g.Edge(2), (EdgeEndpoints{2, 3}));
+}
+
+TEST(Graph, FindEdgeAndNeighborsAreConsistent) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 4);
+  b.AddEdge(1, 4);
+  const Graph g = b.Build();
+  EXPECT_NE(g.FindEdge(0, 4), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(4, 0), g.FindEdge(0, 4));
+  EXPECT_EQ(g.FindEdge(2, 4), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 0), kInvalidEdge);
+
+  VertexId prev = 0;
+  bool first = true;
+  for (const AdjEntry& a : g.Neighbors(0)) {
+    if (!first) {
+      EXPECT_GT(a.neighbor, prev);
+    }
+    prev = a.neighbor;
+    first = false;
+    const EdgeEndpoints ends = g.Edge(a.edge);
+    EXPECT_TRUE((ends.u == 0 && ends.v == a.neighbor) ||
+                (ends.v == 0 && ends.u == a.neighbor));
+  }
+}
+
+TEST(Triangles, CountsKnownShapes) {
+  // Triangle: 1. K4: 4. Square: 0.
+  GraphBuilder t(3);
+  t.AddEdge(0, 1);
+  t.AddEdge(1, 2);
+  t.AddEdge(0, 2);
+  EXPECT_EQ(CountTriangles(t.Build()), 1u);
+
+  GraphBuilder k4(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) k4.AddEdge(u, v);
+  }
+  EXPECT_EQ(CountTriangles(k4.Build()), 4u);
+
+  GraphBuilder sq(4);
+  sq.AddEdge(0, 1);
+  sq.AddEdge(1, 2);
+  sq.AddEdge(2, 3);
+  sq.AddEdge(0, 3);
+  EXPECT_EQ(CountTriangles(sq.Build()), 0u);
+}
+
+TEST(Triangles, ForEachTriangleReportsEachOnce) {
+  const Graph g = MakePropertyGraph(3);
+  std::set<std::tuple<EdgeId, EdgeId, EdgeId>> seen;
+  ForEachTriangle(g, [&](TriangleEdges t) {
+    EdgeId ids[3] = {t.e1, t.e2, t.e3};
+    std::sort(ids, ids + 3);
+    EXPECT_TRUE(seen.insert({ids[0], ids[1], ids[2]}).second)
+        << "triangle reported twice";
+  });
+  EXPECT_EQ(seen.size(), CountTriangles(g));
+}
+
+class TriangleConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TriangleConsistencyTest, SupportSweepMatchesPerEdgeQueries) {
+  const Graph g = MakePropertyGraph(GetParam());
+  const std::vector<uint32_t> sweep = ComputeSupport(g);
+  uint64_t triple_sum = 0;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(sweep[e], EdgeSupport(g, e)) << "edge " << e;
+    triple_sum += sweep[e];
+  }
+  // Each triangle contributes one unit of support to three edges.
+  EXPECT_EQ(triple_sum, 3 * CountTriangles(g));
+}
+
+TEST_P(TriangleConsistencyTest, PerEdgeTrianglesHaveConsistentEndpoints) {
+  const Graph g = MakePropertyGraph(GetParam());
+  for (EdgeId e = 0; e < g.NumEdges(); e += 3) {
+    const EdgeEndpoints ends = g.Edge(e);
+    ForEachTriangleOfEdge(g, e, [&](VertexId w, EdgeId eu, EdgeId ev) {
+      EXPECT_EQ(g.FindEdge(ends.u, w), eu);
+      EXPECT_EQ(g.FindEdge(ends.v, w), ev);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleConsistencyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace atr

@@ -1,0 +1,60 @@
+// Graphs lifted from the paper's figures, used as ground-truth fixtures.
+
+#ifndef ATR_TESTS_PAPER_FIXTURES_H_
+#define ATR_TESTS_PAPER_FIXTURES_H_
+
+#include "graph/graph.h"
+
+namespace atr {
+
+// The running-example graph of Fig. 3 / Fig. 4 (13 vertices, 32 edges):
+//  * a 3-hull path (v5,v8), (v7,v8), (v8,v9), (v9,v10),
+//  * a 4-truss component on {v1,v2,v5,v7,v9} (5-clique minus (v5,v9)),
+//  * a 4-truss component on {v6,v8,v10,v11,v12} (5-clique minus (v6,v10)),
+//  * a 5-truss clique on {v3,v4,v5,v6,v13}.
+// Vertices are 0-based: paper vertex v_i is (i-1) here.
+inline Graph MakeFig3Graph() {
+  GraphBuilder b(13);
+  auto v = [](int paper_index) {
+    return static_cast<VertexId>(paper_index - 1);
+  };
+  // 3-hull.
+  b.AddEdge(v(5), v(8));
+  b.AddEdge(v(7), v(8));
+  b.AddEdge(v(8), v(9));
+  b.AddEdge(v(9), v(10));
+  // 4-truss component {v1,v2,v5,v7,v9} minus (v5,v9).
+  const int c1[] = {1, 2, 5, 7, 9};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      if ((c1[i] == 5 && c1[j] == 9) || (c1[i] == 9 && c1[j] == 5)) continue;
+      b.AddEdge(v(c1[i]), v(c1[j]));
+    }
+  }
+  // 4-truss component {v6,v8,v10,v11,v12} minus (v6,v10).
+  const int c2[] = {6, 8, 10, 11, 12};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      if ((c2[i] == 6 && c2[j] == 10) || (c2[i] == 10 && c2[j] == 6)) continue;
+      b.AddEdge(v(c2[i]), v(c2[j]));
+    }
+  }
+  // 5-truss clique {v3,v4,v5,v6,v13}.
+  const int c3[] = {3, 4, 5, 6, 13};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      b.AddEdge(v(c3[i]), v(c3[j]));
+    }
+  }
+  return b.Build();
+}
+
+// Paper-indexed edge lookup for the Fig. 3 graph.
+inline EdgeId Fig3Edge(const Graph& g, int paper_u, int paper_v) {
+  return g.FindEdge(static_cast<VertexId>(paper_u - 1),
+                    static_cast<VertexId>(paper_v - 1));
+}
+
+}  // namespace atr
+
+#endif  // ATR_TESTS_PAPER_FIXTURES_H_
