@@ -3,12 +3,22 @@
 // Every harness runs with no CLI arguments (scaling comes from ATR_* env
 // vars, see eval/datasets.h) and prints: the experiment id it reproduces,
 // the effective configuration, and the paper-style rows.
+//
+// Harnesses run every solver through the unified API (api/engine.h): one
+// AtrEngine per dataset so the truss decomposition is shared across the
+// solvers being compared.
 
 #ifndef ATR_BENCH_BENCH_COMMON_H_
 #define ATR_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "api/engine.h"
+#include "core/random_baselines.h"
 #include "eval/datasets.h"
 #include "graph/generators/social_profiles.h"
 
@@ -20,6 +30,64 @@ inline void PrintBenchHeader(const char* experiment, const char* paper_ref) {
       "config: ATR_BENCH_SCALE=%.2f ATR_BENCH_B=%u ATR_BENCH_TRIALS=%u "
       "(synthetic SNAP stand-ins; see DESIGN.md §3)\n\n",
       BenchScale(), BenchBudget(), BenchTrials());
+}
+
+// An engine over a benchmark dataset, borrowing its graph and primed with
+// the decomposition the dataset registry already computed. `data` must
+// outlive the returned engine.
+inline AtrEngine MakeEngine(const DatasetInstance& data) {
+  return AtrEngine(data.graph, data.decomposition);
+}
+
+// Solve-or-abort: harness configurations are static, so an error here is a
+// harness bug, not an input problem.
+inline SolveResult RunOrDie(AtrEngine& engine, const std::string& solver,
+                            const SolverOptions& options) {
+  StatusOr<SolveResult> result = engine.Run(solver, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: solver \"%s\" failed: %s\n", solver.c_str(),
+                 result.status().message().c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
+inline SolveResult SweepOrDie(AtrEngine& engine, const std::string& solver,
+                              const std::vector<uint32_t>& checkpoints,
+                              SolverOptions options = {}) {
+  StatusOr<SolveResult> result =
+      engine.RunSweep(solver, checkpoints, std::move(options));
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: sweep \"%s\" failed: %s\n", solver.c_str(),
+                 result.status().message().c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
+// Benchmark budgets come from the environment and can exceed what a small
+// dataset supports; clamp to the feasible range instead of letting the
+// solver reject the run (the legacy entry points clamped silently).
+inline uint32_t ClampBudget(uint32_t b, uint32_t cap) {
+  return std::max<uint32_t>(1, std::min(b, cap));
+}
+
+// Effective budget ceiling of the Sup/Tur baselines: the size of their
+// top-20% candidate pool, straight from the authoritative helper.
+inline uint32_t BaselinePoolCap(const Graph& g) {
+  return BaselinePoolCapacity(g, RandomPoolKind::kTopSupport);
+}
+
+// The 20%..100% budget checkpoints the Fig. 6 / Fig. 8 sweeps report.
+inline std::vector<uint32_t> BudgetCheckpoints(uint32_t b) {
+  std::vector<uint32_t> checkpoints;
+  for (int i = 1; i <= 5; ++i) {
+    const uint32_t c = std::max<uint32_t>(1, b * i / 5);
+    if (checkpoints.empty() || c > checkpoints.back()) {
+      checkpoints.push_back(c);
+    }
+  }
+  return checkpoints;
 }
 
 }  // namespace atr

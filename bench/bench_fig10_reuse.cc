@@ -5,7 +5,6 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "core/gas.h"
 #include "util/table_printer.h"
 
 namespace atr {
@@ -14,11 +13,14 @@ namespace {
 void Run() {
   PrintBenchHeader("bench_fig10_reuse", "Fig. 10 (Exp-8)");
   const uint32_t b = std::max<uint32_t>(4, BenchBudget() / 5);
+  SolverOptions options;
   for (const char* name : {"facebook", "gowalla"}) {
     const DatasetInstance data = MakeDataset(name, BenchScale());
-    const AnchorResult gas = RunGas(data.graph, b);
+    AtrEngine engine = MakeEngine(data);
+    options.budget = ClampBudget(b, engine.graph().NumEdges());
+    const SolveResult gas = RunOrDie(engine, "gas", options);
     std::printf("dataset %s (|E|=%u, %u rounds)\n", name,
-                data.graph.NumEdges(), b);
+                engine.graph().NumEdges(), b);
     TablePrinter table({"Round", "FR", "PR", "NR"});
     double fr_sum = 0;
     double pr_sum = 0;

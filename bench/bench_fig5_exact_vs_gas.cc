@@ -1,17 +1,16 @@
 // Exp-2 (Fig. 5): GAS vs Exact on small ego-ball extracts (150-250 edges,
 // the extraction method of Linghu et al. the paper follows), budgets 1-3.
-// Reports average gain ratio and average runtimes per budget.
+// Reports average gain ratio and average runtimes per budget. One AtrEngine
+// per extract serves every budget of both solvers.
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "core/exact.h"
-#include "core/gas.h"
 #include "graph/subgraph.h"
 #include "util/table_printer.h"
-#include "util/timer.h"
 
 namespace atr {
 namespace {
@@ -32,6 +31,13 @@ void RunDataset(const char* name, int num_extracts) {
                          ? data.graph.Degree(a) > data.graph.Degree(b)
                          : a < b;
             });
+  // One engine per extract, shared across every budget below.
+  std::vector<std::unique_ptr<AtrEngine>> engines;
+  for (int i = 0; i < num_extracts; ++i) {
+    Graph extract = ExtractEgoBall(data.graph, seeds_by_degree[i], 150, 250);
+    if (extract.NumEdges() < 20) continue;
+    engines.push_back(std::make_unique<AtrEngine>(std::move(extract)));
+  }
   std::printf("dataset %s (extracts of 150-250 edges, %d hub seeds)\n", name,
               num_extracts);
   TablePrinter table({"b", "Exact gain", "GAS gain", "GAS/Exact", "Exact(s)",
@@ -42,18 +48,15 @@ void RunDataset(const char* name, int num_extracts) {
     double exact_seconds = 0;
     double gas_seconds = 0;
     uint64_t subsets = 0;
-    for (int i = 0; i < num_extracts; ++i) {
-      const VertexId seed = seeds_by_degree[i];
-      const Graph extract = ExtractEgoBall(data.graph, seed, 150, 250);
-      if (extract.NumEdges() < 20) continue;
-      WallTimer exact_timer;
-      const ExactResult exact = RunExact(extract, b);
-      exact_seconds += exact_timer.ElapsedSeconds();
-      WallTimer gas_timer;
-      const AnchorResult gas = RunGas(extract, b);
-      gas_seconds += gas_timer.ElapsedSeconds();
-      exact_gain += static_cast<double>(exact.gain);
+    for (const std::unique_ptr<AtrEngine>& engine : engines) {
+      SolverOptions options;
+      options.budget = b;
+      const SolveResult exact = RunOrDie(*engine, "exact", options);
+      const SolveResult gas = RunOrDie(*engine, "gas", options);
+      exact_gain += static_cast<double>(exact.total_gain);
       gas_gain += static_cast<double>(gas.total_gain);
+      exact_seconds += exact.seconds;
+      gas_seconds += gas.seconds;
       subsets += exact.subsets_evaluated;
     }
     const double ratio = exact_gain > 0 ? gas_gain / exact_gain : 1.0;

@@ -1,13 +1,12 @@
 // Exp-3 (Fig. 6): trussness gain of GAS vs Rand/Sup/Tur as the budget b
 // sweeps 20%..100% of the default budget, on facebook and brightkite.
-// One GAS run serves every checkpoint (prefix gains of the greedy).
+// One RunSweep per solver serves every checkpoint (prefix gains of the
+// greedy, best-draw prefixes of the randomized baselines).
 
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "core/gas.h"
-#include "core/random_baselines.h"
 #include "util/table_printer.h"
 
 namespace atr {
@@ -15,30 +14,32 @@ namespace {
 
 void RunDataset(const char* name) {
   const DatasetInstance data = MakeDataset(name, BenchScale());
-  const uint32_t b = BenchBudget();
-  const uint32_t trials = BenchTrials();
-  std::vector<uint32_t> checkpoints;
-  for (int i = 1; i <= 5; ++i) {
-    checkpoints.push_back(std::max<uint32_t>(1, b * i / 5));
-  }
+  AtrEngine engine = MakeEngine(data);
+  // One checkpoint list shared by all four solvers, so the rows stay
+  // comparable; the Sup/Tur pool is the tightest budget ceiling.
+  const uint32_t b =
+      ClampBudget(BenchBudget(), BaselinePoolCap(engine.graph()));
+  const std::vector<uint32_t> checkpoints = BudgetCheckpoints(b);
 
-  const AnchorResult gas = RunGas(data.graph, b);
-  const RandomBaselineResult rand = RunRandomBaseline(
-      data.graph, RandomPoolKind::kAllEdges, checkpoints, trials, 11);
-  const RandomBaselineResult sup = RunRandomBaseline(
-      data.graph, RandomPoolKind::kTopSupport, checkpoints, trials, 12);
-  const RandomBaselineResult tur = RunRandomBaseline(
-      data.graph, RandomPoolKind::kTopRouteSize, checkpoints, trials, 13);
+  SolverOptions random_options;
+  random_options.trials = BenchTrials();
 
-  std::printf("dataset %s (|E|=%u)\n", name, data.graph.NumEdges());
+  const SolveResult gas = SweepOrDie(engine, "gas", checkpoints);
+  random_options.seed = 11;
+  const SolveResult rand =
+      SweepOrDie(engine, "rand", checkpoints, random_options);
+  random_options.seed = 12;
+  const SolveResult sup =
+      SweepOrDie(engine, "sup", checkpoints, random_options);
+  random_options.seed = 13;
+  const SolveResult tur =
+      SweepOrDie(engine, "tur", checkpoints, random_options);
+
+  std::printf("dataset %s (|E|=%u)\n", name, engine.graph().NumEdges());
   TablePrinter table({"b", "GAS", "Rand", "Sup", "Tur"});
   for (size_t c = 0; c < checkpoints.size(); ++c) {
-    uint64_t gas_gain = 0;
-    for (uint32_t r = 0; r < checkpoints[c] && r < gas.rounds.size(); ++r) {
-      gas_gain += gas.rounds[r].gain;
-    }
     table.AddRow({TablePrinter::FormatInt(checkpoints[c]),
-                  TablePrinter::FormatInt(gas_gain),
+                  TablePrinter::FormatInt(gas.gain_at_checkpoint[c]),
                   TablePrinter::FormatInt(rand.gain_at_checkpoint[c]),
                   TablePrinter::FormatInt(sup.gain_at_checkpoint[c]),
                   TablePrinter::FormatInt(tur.gain_at_checkpoint[c])});

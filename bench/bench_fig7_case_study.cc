@@ -1,6 +1,8 @@
 // Exp-4 (Fig. 7): case study comparing GAS, AKT (best k), and the
 // edge-deletion selection with b = 3 anchors on a gowalla-like graph,
-// reporting how many edges improve and at which trussness levels.
+// reporting how many edges improve and at which trussness levels. GAS and
+// the AKT sweep over k run through one AtrEngine, sharing the base
+// decomposition.
 
 #include <cstdio>
 #include <map>
@@ -8,7 +10,6 @@
 #include "bench/bench_common.h"
 #include "core/akt.h"
 #include "core/edge_deletion.h"
-#include "core/gas.h"
 #include "truss/decomposition.h"
 #include "truss/gain.h"
 #include "util/table_printer.h"
@@ -49,22 +50,26 @@ void Run() {
   // decomposition per candidate edge.
   const double scale = std::min(0.18, BenchScale() * 0.9);
   const DatasetInstance data = MakeDataset("gowalla", scale);
-  const Graph& g = data.graph;
-  const TrussDecomposition& base = data.decomposition;
+  AtrEngine engine = MakeEngine(data);
+  const Graph& g = engine.graph();
+  const TrussDecomposition& base = engine.Decomposition();
   std::printf("case study on gowalla stand-in: |V|=%u |E|=%u, b=3\n\n",
               g.NumVertices(), g.NumEdges());
 
-  const AnchorResult gas = RunGas(g, 3);
+  SolverOptions options;
+  options.budget = 3;
+  const SolveResult gas = RunOrDie(engine, "gas", options);
 
   uint64_t best_akt_gain = 0;
   uint32_t best_k = 0;
   std::vector<VertexId> best_akt_anchors;
-  for (uint32_t k = 4; k <= base.max_trussness + 1; ++k) {
-    const AktResult akt = RunAkt(g, base, k, 3);
+  for (uint32_t k = 4; k <= engine.MaxTrussness() + 1; ++k) {
+    const SolveResult akt =
+        RunOrDie(engine, "akt:" + std::to_string(k), options);
     if (akt.total_gain > best_akt_gain) {
       best_akt_gain = akt.total_gain;
       best_k = k;
-      best_akt_anchors = akt.anchors;
+      best_akt_anchors = akt.anchor_vertices;
     }
   }
 
@@ -72,7 +77,7 @@ void Run() {
 
   TablePrinter table({"Method", "Anchors", "Improved edges by level"});
   table.AddRow({"GAS (edges)", TablePrinter::FormatInt(3),
-                LevelsToString(ImprovedByLevel(g, base, gas.anchors))});
+                LevelsToString(ImprovedByLevel(g, base, gas.anchor_edges))});
   std::map<uint32_t, uint32_t> akt_levels;
   if (best_k > 0) {
     for (EdgeId e : AktFollowers(g, base, best_k, best_akt_anchors)) {

@@ -1,18 +1,16 @@
 // Exp-5 (Fig. 8): runtime of BASE+ vs GAS as the budget sweeps 20%..100%
-// of the default, on every dataset. One budget-b run per solver reports all
+// of the default, on every dataset. One RunSweep per solver reports all
 // checkpoints via the per-round cumulative timestamps.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "core/base_plus.h"
-#include "core/gas.h"
 #include "util/table_printer.h"
 
 namespace atr {
 namespace {
 
-double TimeAtCheckpoint(const AnchorResult& result, uint32_t budget) {
+double TimeAtCheckpoint(const SolveResult& result, uint32_t budget) {
   if (result.rounds.empty()) return 0.0;
   const size_t idx = std::min<size_t>(budget, result.rounds.size()) - 1;
   return result.rounds[idx].cumulative_seconds;
@@ -21,10 +19,7 @@ double TimeAtCheckpoint(const AnchorResult& result, uint32_t budget) {
 void Run() {
   PrintBenchHeader("bench_fig8_efficiency_vary_b", "Fig. 8 (Exp-5)");
   const uint32_t b = BenchBudget();
-  std::vector<uint32_t> checkpoints;
-  for (int i = 1; i <= 5; ++i) {
-    checkpoints.push_back(std::max<uint32_t>(1, b * i / 5));
-  }
+  const std::vector<uint32_t> checkpoints = BudgetCheckpoints(b);
 
   std::vector<std::string> header = {"Dataset", "Solver"};
   for (uint32_t c : checkpoints) header.push_back("b=" + std::to_string(c));
@@ -32,10 +27,15 @@ void Run() {
 
   for (const DatasetSpec& spec : SocialProfileSpecs()) {
     const DatasetInstance data = MakeDataset(spec.name, BenchScale());
+    AtrEngine engine = MakeEngine(data);
     std::fprintf(stderr, "[fig8] %s |E|=%u\n", spec.name.c_str(),
-                 data.graph.NumEdges());
-    const AnchorResult plus = RunBasePlus(data.graph, b);
-    const AnchorResult gas = RunGas(data.graph, b);
+                 engine.graph().NumEdges());
+    // Sweep with per-dataset-feasible checkpoints; the shared header
+    // columns are served by TimeAtCheckpoint's index clamp.
+    const std::vector<uint32_t> dataset_checkpoints =
+        BudgetCheckpoints(ClampBudget(b, engine.graph().NumEdges()));
+    const SolveResult plus = SweepOrDie(engine, "base+", dataset_checkpoints);
+    const SolveResult gas = SweepOrDie(engine, "gas", dataset_checkpoints);
     std::vector<std::string> plus_row = {spec.name, "BASE+"};
     std::vector<std::string> gas_row = {"", "GAS"};
     for (uint32_t c : checkpoints) {

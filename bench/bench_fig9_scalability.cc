@@ -5,12 +5,10 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "core/gas.h"
 #include "graph/subgraph.h"
 #include "util/env.h"
 #include "util/prng.h"
 #include "util/table_printer.h"
-#include "util/timer.h"
 
 namespace atr {
 namespace {
@@ -20,6 +18,9 @@ void Run() {
   const uint32_t b = static_cast<uint32_t>(
       GetEnvInt64("ATR_BENCH_SCAL_B", std::min<int64_t>(10, BenchBudget())));
   std::printf("GAS budget per sample: %u\n", b);
+
+  SolverOptions options;
+  options.budget = b;
 
   for (const char* name : {"patents", "pokec"}) {
     const DatasetInstance data = MakeDataset(name, BenchScale());
@@ -32,25 +33,30 @@ void Run() {
       for (int pct = 50; pct <= 100; pct += 10) {
         Rng rng(1000 + pct);
         const double fraction = pct / 100.0;
-        const Graph sample = (mode == 0) ? SampleEdges(g, fraction, rng)
-                                         : SampleVertices(g, fraction, rng);
+        Graph sample = (mode == 0) ? SampleEdges(g, fraction, rng)
+                                   : SampleVertices(g, fraction, rng);
         // Count non-isolated vertices for the ratio columns.
         uint32_t active_vertices = 0;
         for (VertexId v = 0; v < sample.NumVertices(); ++v) {
           if (sample.Degree(v) > 0) ++active_vertices;
         }
-        WallTimer timer;
-        RunGas(sample, b);
+        const uint32_t sample_edges = sample.NumEdges();
+        AtrEngine engine(std::move(sample));
+        SolveResult gas;  // edgeless samples have nothing to solve
+        if (sample_edges > 0) {
+          options.budget = ClampBudget(b, sample_edges);
+          gas = RunOrDie(engine, "gas", options);
+        }
         table.AddRow(
             {mode == 0 ? "vary |E|" : "vary |V|",
              TablePrinter::FormatDouble(fraction, 1),
              TablePrinter::FormatInt(active_vertices),
-             TablePrinter::FormatInt(sample.NumEdges()),
+             TablePrinter::FormatInt(sample_edges),
              TablePrinter::FormatDouble(
                  static_cast<double>(active_vertices) / g.NumVertices(), 2),
              TablePrinter::FormatDouble(
-                 static_cast<double>(sample.NumEdges()) / g.NumEdges(), 2),
-             TablePrinter::FormatSeconds(timer.ElapsedSeconds())});
+                 static_cast<double>(sample_edges) / g.NumEdges(), 2),
+             TablePrinter::FormatSeconds(gas.seconds)});
       }
     }
     table.Print();

@@ -3,13 +3,14 @@
 //    budget — the average and the maximum over all k values.
 //  * Fig. 11(a): AKT gain per (k, b) grid cell, with the GAS gain row.
 //  * Fig. 11(b): distribution of GAS's followers across trussness levels.
+//
+// The GAS sweep and every AKT level run through one AtrEngine, sharing a
+// single truss decomposition.
 
 #include <cstdio>
 #include <map>
 
 #include "bench/bench_common.h"
-#include "core/akt.h"
-#include "core/gas.h"
 #include "util/env.h"
 #include "util/table_printer.h"
 
@@ -20,17 +21,18 @@ void Run() {
   PrintBenchHeader("bench_table5_fig11_akt", "Table V + Fig. 11 (Exp-9)");
   const double scale =
       std::min(GetEnvDouble("ATR_BENCH_AKT_SCALE", 0.15), BenchScale());
-  const uint32_t b = BenchBudget();
   const DatasetInstance data = MakeDataset("gowalla", scale);
-  const Graph& g = data.graph;
+  AtrEngine engine = MakeEngine(data);
+  const Graph& g = engine.graph();
+  // GAS budgets are edge-bounded, AKT budgets vertex-bounded; one clamped
+  // budget keeps the (k, b) grid columns aligned.
+  const uint32_t b = ClampBudget(
+      BenchBudget(), std::min(g.NumEdges(), g.NumVertices()));
   std::printf("dataset gowalla stand-in (|V|=%u |E|=%u), b=%u\n\n",
               g.NumVertices(), g.NumEdges(), b);
 
-  const AnchorResult gas = RunGas(g, b);
-  std::vector<uint32_t> checkpoints;
-  for (int i = 1; i <= 5; ++i) {
-    checkpoints.push_back(std::max<uint32_t>(1, b * i / 5));
-  }
+  const std::vector<uint32_t> checkpoints = BudgetCheckpoints(b);
+  const SolveResult gas = SweepOrDie(engine, "gas", checkpoints);
 
   // Fig. 11(a): AKT gain over the (k, b) grid.
   std::vector<std::string> header = {"k"};
@@ -40,13 +42,10 @@ void Run() {
   uint64_t akt_sum = 0;
   uint32_t akt_count = 0;
   for (uint32_t k = 4; k <= data.k_max + 1; ++k) {
-    const AktResult akt = RunAkt(g, data.decomposition, k, b);
+    const SolveResult akt =
+        SweepOrDie(engine, "akt:" + std::to_string(k), checkpoints);
     std::vector<std::string> row = {TablePrinter::FormatInt(k)};
-    for (uint32_t c : checkpoints) {
-      const uint64_t gain =
-          akt.gain_after.empty()
-              ? 0
-              : akt.gain_after[std::min<size_t>(c, akt.gain_after.size()) - 1];
+    for (uint64_t gain : akt.gain_at_checkpoint) {
       row.push_back(TablePrinter::FormatInt(gain));
     }
     grid.AddRow(row);
@@ -55,11 +54,7 @@ void Run() {
     ++akt_count;
   }
   std::vector<std::string> gas_row = {"GAS"};
-  for (uint32_t c : checkpoints) {
-    uint64_t gain = 0;
-    for (uint32_t r = 0; r < c && r < gas.rounds.size(); ++r) {
-      gain += gas.rounds[r].gain;
-    }
+  for (uint64_t gain : gas.gain_at_checkpoint) {
     gas_row.push_back(TablePrinter::FormatInt(gain));
   }
   grid.AddRow(gas_row);

@@ -1,18 +1,17 @@
 // Application 1 of the paper's introduction: reinforcing a social network's
 // overall engagement by anchoring key relationships. Compares GAS against
-// the vertex-anchoring alternative (AKT) and random strengthening, and
-// shows which trussness levels each approach improves.
+// the vertex-anchoring alternative (AKT) and random strengthening through
+// one AtrEngine session, and shows which trussness levels each approach
+// improves.
 
-#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <string>
 
-#include "core/akt.h"
-#include "core/gas.h"
-#include "core/random_baselines.h"
+#include "api/engine.h"
 #include "graph/generators/social_profiles.h"
 #include "truss/decomposition.h"
-#include "truss/gain.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -32,24 +31,40 @@ std::map<uint32_t, uint32_t> GainByLevel(const atr::Graph& g,
   return by_level;
 }
 
+atr::SolveResult MustRun(atr::AtrEngine& engine, const std::string& solver,
+                         const atr::SolverOptions& options) {
+  atr::StatusOr<atr::SolveResult> result = engine.Run(solver, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", solver.c_str(),
+                 result.status().message().c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
 }  // namespace
 
 int main() {
   const uint32_t budget = 10;
-  const atr::Graph g = atr::MakeSocialProfile("facebook", 0.15, /*seed=*/3);
-  const atr::TrussDecomposition base = atr::ComputeTrussDecomposition(g);
+  atr::AtrEngine engine(atr::MakeSocialProfile("facebook", 0.15, /*seed=*/3));
+  const atr::Graph& g = engine.graph();
   std::printf(
       "friendship network: %u users, %u ties, deepest community level %u\n\n",
-      g.NumVertices(), g.NumEdges(), base.max_trussness);
+      g.NumVertices(), g.NumEdges(), engine.MaxTrussness());
+
+  atr::SolverOptions options;
+  options.budget = budget;
 
   // Strengthen b ties with GAS.
-  const atr::AnchorResult gas = atr::RunGas(g, budget);
+  const atr::SolveResult gas = MustRun(engine, "gas", options);
 
-  // Alternative 1: retain b influential users (AKT) at its best k.
+  // Alternative 1: retain b influential users (AKT) at its best k. Every
+  // level reuses the engine's cached decomposition.
   uint64_t best_akt = 0;
   uint32_t best_k = 0;
-  for (uint32_t k = 4; k <= base.max_trussness + 1; k += 2) {
-    const atr::AktResult akt = atr::RunAkt(g, base, k, budget);
+  for (uint32_t k = 4; k <= engine.MaxTrussness() + 1; k += 2) {
+    const atr::SolveResult akt =
+        MustRun(engine, "akt:" + std::to_string(k), options);
     if (akt.total_gain > best_akt) {
       best_akt = akt.total_gain;
       best_k = k;
@@ -57,8 +72,11 @@ int main() {
   }
 
   // Alternative 2: strengthen b random strong ties.
-  const atr::RandomBaselineResult sup = atr::RunRandomBaseline(
-      g, atr::RandomPoolKind::kTopSupport, {budget}, 100, 5);
+  atr::SolverOptions sup_options;
+  sup_options.budget = budget;
+  sup_options.trials = 100;
+  sup_options.seed = 5;
+  const atr::SolveResult sup = MustRun(engine, "sup", sup_options);
 
   atr::TablePrinter table({"Strategy", "Engagement gain (trussness)"});
   table.AddRow({"GAS: anchor " + std::to_string(budget) + " ties",
@@ -67,11 +85,12 @@ int main() {
                     " users (best k=" + std::to_string(best_k) + ")",
                 atr::TablePrinter::FormatInt(best_akt)});
   table.AddRow({"Random strong ties (best of 100 draws)",
-                atr::TablePrinter::FormatInt(sup.best_gain)});
+                atr::TablePrinter::FormatInt(sup.total_gain)});
   table.Print();
 
   std::printf("\ncommunity levels improved by the GAS anchors:\n");
-  for (const auto& [level, count] : GainByLevel(g, base, gas.anchors)) {
+  const atr::TrussDecomposition& base = engine.Decomposition();
+  for (const auto& [level, count] : GainByLevel(g, base, gas.anchor_edges)) {
     std::printf("  %u ties moved from cohesion level %u to %u\n", count,
                 level, level + 1);
   }

@@ -1,32 +1,38 @@
 // Application 2 of the paper's introduction: hardening a transportation
 // network. Road networks are geometry-dominated, so we model one as a
 // random geometric graph, identify the b links whose reinforcement
-// (anchoring) best stabilizes the network, and contrast them with the links
-// a deletion-criticality analysis would have picked.
+// (anchoring) best stabilizes the network through the unified solver API,
+// and contrast them with the links a deletion-criticality analysis would
+// have picked.
 
 #include <cstdio>
 
+#include "api/engine.h"
 #include "core/edge_deletion.h"
-#include "core/gas.h"
 #include "graph/generators/generators.h"
-#include "truss/decomposition.h"
-#include "truss/gain.h"
 #include "util/table_printer.h"
 
 int main() {
   const uint32_t budget = 5;
   // ~900 intersections on the unit square, links between nearby ones.
-  const atr::Graph g = atr::RandomGeometricGraph(900, 0.065, /*seed=*/11);
-  const atr::TrussDecomposition base = atr::ComputeTrussDecomposition(g);
+  atr::AtrEngine engine(
+      atr::RandomGeometricGraph(900, 0.065, /*seed=*/11));
+  const atr::Graph& g = engine.graph();
   std::printf("road network: %u intersections, %u links, k_max=%u\n\n",
-              g.NumVertices(), g.NumEdges(), base.max_trussness);
+              g.NumVertices(), g.NumEdges(), engine.MaxTrussness());
 
-  const atr::AnchorResult gas = atr::RunGas(g, budget);
+  atr::SolverOptions options;
+  options.budget = budget;
+  const atr::StatusOr<atr::SolveResult> gas = engine.Run("gas", options);
+  if (!gas.ok()) {
+    std::fprintf(stderr, "gas failed: %s\n", gas.status().message().c_str());
+    return 1;
+  }
   std::printf("reinforced links chosen by GAS (budget %u):\n", budget);
-  for (size_t i = 0; i < gas.rounds.size(); ++i) {
-    const atr::EdgeEndpoints ends = g.Edge(gas.rounds[i].anchor);
+  for (size_t i = 0; i < gas->rounds.size(); ++i) {
+    const atr::EdgeEndpoints ends = g.Edge(gas->rounds[i].anchor);
     std::printf("  link (%u, %u): stabilizes %u neighboring links\n", ends.u,
-                ends.v, gas.rounds[i].gain);
+                ends.v, gas->rounds[i].gain);
   }
 
   const atr::EdgeDeletionResult critical =
@@ -34,7 +40,7 @@ int main() {
 
   atr::TablePrinter table({"Selection policy", "Stability gain"});
   table.AddRow({"Reinforce GAS anchors",
-                atr::TablePrinter::FormatInt(gas.total_gain)});
+                atr::TablePrinter::FormatInt(gas->total_gain)});
   table.AddRow({"Reinforce deletion-critical links",
                 atr::TablePrinter::FormatInt(critical.total_gain)});
   table.Print();

@@ -1,0 +1,91 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace atr {
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  std::map<std::string, SolverRegistry::Factory> exact;
+  // prefix -> (placeholder display name, factory), longest prefix wins.
+  std::map<std::string, std::pair<std::string, SolverRegistry::Factory>>
+      prefixes;
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+}  // namespace
+
+// Defined in api/solvers.cc; registers the built-in solver set once.
+void EnsureBuiltinSolversRegistered();
+
+StatusOr<std::unique_ptr<Solver>> SolverRegistry::Create(
+    const std::string& name) {
+  EnsureBuiltinSolversRegistered();
+  RegistryState& state = State();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.exact.find(name);
+    if (it != state.exact.end()) {
+      factory = it->second;
+    } else {
+      // Longest registered prefix of `name`.
+      size_t best_len = 0;
+      for (const auto& [prefix, entry] : state.prefixes) {
+        if (name.size() >= prefix.size() &&
+            name.compare(0, prefix.size(), prefix) == 0 &&
+            prefix.size() > best_len) {
+          best_len = prefix.size();
+          factory = entry.second;
+        }
+      }
+    }
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& s : KnownSolvers()) {
+      if (!known.empty()) known += ", ";
+      known += s;
+    }
+    return Status::NotFound("unknown solver \"" + name +
+                            "\" (known: " + known + ")");
+  }
+  return factory(name);
+}
+
+std::vector<std::string> SolverRegistry::KnownSolvers() {
+  EnsureBuiltinSolversRegistered();
+  RegistryState& state = State();
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (const auto& [name, factory] : state.exact) names.push_back(name);
+    for (const auto& [prefix, entry] : state.prefixes) {
+      names.push_back(entry.first);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void SolverRegistry::Register(const std::string& name, Factory factory) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.exact[name] = std::move(factory);
+}
+
+void SolverRegistry::RegisterPrefix(const std::string& prefix,
+                                    Factory factory) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.prefixes[prefix] = {prefix + "<k>", std::move(factory)};
+}
+
+}  // namespace atr

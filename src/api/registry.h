@@ -1,0 +1,55 @@
+// String-keyed factory for the unified solvers (api/solver.h).
+//
+// Built-in names:
+//   "base"    — greedy with brute-force gain computation (Algorithm 2)
+//   "base+"   — greedy with upward-route follower search (paper §IV)
+//   "gas"     — greedy with follower search + component-tree reuse (Alg. 6)
+//   "exact"   — exhaustive b-subset enumeration (Exp-2)
+//   "rand"    — best of N uniform draws over all edges
+//   "sup"     — best of N draws over the top-20% edges by support
+//   "tur"     — best of N draws over the top-20% edges by route size
+//   "akt:<k>" — AKT vertex anchoring at level k (Zhang et al., ICDE 2018),
+//               e.g. "akt:5"; k must be an integer >= 3
+//
+// Additional solvers can be registered at runtime (Register /
+// RegisterPrefix); names are case-sensitive and registration of a taken
+// name replaces the previous factory.
+
+#ifndef ATR_API_REGISTRY_H_
+#define ATR_API_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/solver.h"
+#include "util/status.h"
+
+namespace atr {
+
+class SolverRegistry {
+ public:
+  // Receives the full requested name (so prefix factories can parse their
+  // parameter, e.g. the k of "akt:5").
+  using Factory =
+      std::function<StatusOr<std::unique_ptr<Solver>>(const std::string&)>;
+
+  // Creates the solver registered under `name`. Exact-name matches win;
+  // otherwise the longest matching registered prefix handles the name.
+  // Unknown names return NotFound listing the known solvers; malformed
+  // parameterized names (e.g. "akt:x") return InvalidArgument.
+  static StatusOr<std::unique_ptr<Solver>> Create(const std::string& name);
+
+  // The registered names, sorted; prefix entries are listed with a
+  // "<k>"-style placeholder (e.g. "akt:<k>").
+  static std::vector<std::string> KnownSolvers();
+
+  // Registers `factory` under an exact name / a name prefix.
+  static void Register(const std::string& name, Factory factory);
+  static void RegisterPrefix(const std::string& prefix, Factory factory);
+};
+
+}  // namespace atr
+
+#endif  // ATR_API_REGISTRY_H_

@@ -6,6 +6,7 @@
 #include "graph/triangles.h"
 #include "util/macros.h"
 #include "util/parallel_for.h"
+#include "util/timer.h"
 
 namespace atr {
 namespace {
@@ -128,7 +129,7 @@ std::vector<EdgeId> AktFollowers(const Graph& g,
 }
 
 AktResult RunAkt(const Graph& g, const TrussDecomposition& decomp, uint32_t k,
-                 uint32_t budget) {
+                 uint32_t budget, const GreedyControl* control) {
   ATR_CHECK(k >= 3);
   AktResult result;
   result.k = k;
@@ -150,7 +151,12 @@ AktResult RunAkt(const Graph& g, const TrussDecomposition& decomp, uint32_t k,
   uint64_t current_gain = 0;
   budget = std::min<uint32_t>(budget, candidates.size());
 
+  WallTimer timer;
   for (uint32_t round = 0; round < budget; ++round) {
+    if (control != nullptr && control->ShouldStop(timer.ElapsedSeconds())) {
+      result.stopped_early = true;
+      break;
+    }
     struct Best {
       uint64_t gain = 0;
       VertexId vertex = kInvalidVertex;
@@ -185,9 +191,22 @@ AktResult RunAkt(const Graph& g, const TrussDecomposition& decomp, uint32_t k,
     }
     ATR_CHECK(best.vertex != kInvalidVertex);
     anchored_vertex[best.vertex] = true;
+    const uint64_t marginal = best.gain - current_gain;
     current_gain = best.gain;
     result.anchors.push_back(best.vertex);
     result.gain_after.push_back(current_gain);
+    if (control != nullptr && control->on_round) {
+      GreedyProgress progress;
+      progress.round = round + 1;
+      progress.budget = budget;
+      progress.gain = static_cast<uint32_t>(marginal);
+      progress.total_gain = current_gain;
+      progress.elapsed_seconds = timer.ElapsedSeconds();
+      if (!control->on_round(progress)) {
+        result.stopped_early = true;
+        break;
+      }
+    }
   }
   result.total_gain = current_gain;
   return result;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/atr_problem.h"
 #include "graph/graph.h"
 #include "truss/decomposition.h"
 
@@ -27,12 +28,17 @@ struct AktResult {
   std::vector<VertexId> anchors;      // chosen vertices, in order
   std::vector<uint64_t> gain_after;   // cumulative gain after each round
   uint64_t total_gain = 0;            // followers of the final anchor set
+  // True when a GreedyControl stopped the run before the budget was
+  // exhausted; the anchors selected so far are a valid greedy prefix.
+  bool stopped_early = false;
 };
 
 // Runs the AKT greedy for one k. `decomp` must be the plain decomposition
-// of g. Returns zero gain when the (k-1)-hull is empty.
+// of g. Returns zero gain when the (k-1)-hull is empty. `control` may carry
+// a per-round progress callback, a cancellation flag, and a wall-clock
+// limit (GreedyProgress::anchor is kInvalidEdge — AKT anchors vertices).
 AktResult RunAkt(const Graph& g, const TrussDecomposition& decomp, uint32_t k,
-                 uint32_t budget);
+                 uint32_t budget, const GreedyControl* control = nullptr);
 
 // Follower edges (trussness k-1, in the anchored k-truss) for a given
 // anchor-vertex set; exposed for tests and the Fig. 7 case study.

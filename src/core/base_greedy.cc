@@ -10,7 +10,9 @@
 
 namespace atr {
 
-AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget) {
+AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget,
+                           const GreedyControl* control,
+                           const TrussDecomposition* seed_decomposition) {
   const uint32_t m = g.NumEdges();
   AnchorResult result;
   if (m == 0) return result;
@@ -18,9 +20,15 @@ AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget) {
 
   WallTimer timer;
   std::vector<bool> anchored(m, false);
-  TrussDecomposition current = ComputeTrussDecomposition(g, anchored);
+  TrussDecomposition current = seed_decomposition != nullptr
+                                   ? *seed_decomposition
+                                   : ComputeTrussDecomposition(g, anchored);
 
   while (result.anchors.size() < budget) {
+    if (control != nullptr && control->ShouldStop(timer.ElapsedSeconds())) {
+      result.stopped_early = true;
+      break;
+    }
     // Chunk-local winners merged deterministically by (gain, edge id).
     struct Best {
       uint64_t gain = 0;
@@ -66,6 +74,7 @@ AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget) {
     result.total_gain += best.gain;
     result.anchors.push_back(best.edge);
     result.rounds.push_back(std::move(round));
+    if (!NotifyRound(control, budget, result)) break;
   }
   return result;
 }

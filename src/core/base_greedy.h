@@ -9,12 +9,19 @@
 
 #include "core/atr_problem.h"
 #include "graph/graph.h"
+#include "truss/decomposition.h"
 
 namespace atr {
 
 // Runs BASE with the given budget. Candidate evaluation is parallelized
-// across edges (deterministic reduction).
-AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget);
+// across edges (deterministic reduction). `control` may carry a per-round
+// progress callback, a cancellation flag, and a wall-clock limit.
+// `seed_decomposition`, when non-null, must be the anchor-free
+// decomposition of `g` and replaces the round-1 computation (the api layer
+// passes its cached copy).
+AnchorResult RunBaseGreedy(
+    const Graph& g, uint32_t budget, const GreedyControl* control = nullptr,
+    const TrussDecomposition* seed_decomposition = nullptr);
 
 }  // namespace atr
 

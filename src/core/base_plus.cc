@@ -11,7 +11,9 @@
 
 namespace atr {
 
-AnchorResult RunBasePlus(const Graph& g, uint32_t budget) {
+AnchorResult RunBasePlus(const Graph& g, uint32_t budget,
+                         const GreedyControl* control,
+                         const TrussDecomposition* seed_decomposition) {
   const uint32_t m = g.NumEdges();
   AnchorResult result;
   if (m == 0) return result;
@@ -19,10 +21,16 @@ AnchorResult RunBasePlus(const Graph& g, uint32_t budget) {
 
   WallTimer timer;
   std::vector<bool> anchored(m, false);
-  TrussDecomposition current = ComputeTrussDecomposition(g, anchored);
+  TrussDecomposition current = seed_decomposition != nullptr
+                                   ? *seed_decomposition
+                                   : ComputeTrussDecomposition(g, anchored);
   FollowerSearch main_search(g);
 
   while (result.anchors.size() < budget) {
+    if (control != nullptr && control->ShouldStop(timer.ElapsedSeconds())) {
+      result.stopped_early = true;
+      break;
+    }
     struct Best {
       uint64_t gain = 0;
       EdgeId edge = kInvalidEdge;
@@ -73,6 +81,7 @@ AnchorResult RunBasePlus(const Graph& g, uint32_t budget) {
     result.total_gain += best.gain;
     result.anchors.push_back(best.edge);
     result.rounds.push_back(std::move(round));
+    if (!NotifyRound(control, budget, result)) break;
   }
   return result;
 }

@@ -8,13 +8,19 @@
 
 #include "core/atr_problem.h"
 #include "graph/graph.h"
+#include "truss/decomposition.h"
 
 namespace atr {
 
 // Runs BASE+ with the given budget. Candidate evaluation is parallelized
 // across edges with one FollowerSearch instance per worker (deterministic
-// reduction).
-AnchorResult RunBasePlus(const Graph& g, uint32_t budget);
+// reduction). `control` may carry a per-round progress callback, a
+// cancellation flag, and a wall-clock limit. `seed_decomposition`, when
+// non-null, must be the anchor-free decomposition of `g` and replaces the
+// round-1 computation (the api layer passes its cached copy).
+AnchorResult RunBasePlus(
+    const Graph& g, uint32_t budget, const GreedyControl* control = nullptr,
+    const TrussDecomposition* seed_decomposition = nullptr);
 
 }  // namespace atr
 

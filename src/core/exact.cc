@@ -55,10 +55,13 @@ void Enumerate(const Graph& g, const TrussDecomposition& base,
 
 }  // namespace
 
-ExactResult RunExact(const Graph& g, uint32_t budget) {
+ExactResult RunExact(const Graph& g, uint32_t budget,
+                     const TrussDecomposition* base_decomposition) {
   const uint32_t m = g.NumEdges();
   ATR_CHECK(budget >= 1 && budget <= m);
-  const TrussDecomposition base = ComputeTrussDecomposition(g);
+  const TrussDecomposition base = base_decomposition != nullptr
+                                      ? *base_decomposition
+                                      : ComputeTrussDecomposition(g);
 
   std::vector<BestSet> partials;
   std::mutex mu;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "truss/decomposition.h"
 
 namespace atr {
 
@@ -22,7 +23,11 @@ struct ExactResult {
 // Evaluates all C(m, budget) anchor sets (parallelized over the first
 // element; deterministic tie-break: max gain, then lexicographically
 // smallest subset). Budget must satisfy 1 <= budget <= m.
-ExactResult RunExact(const Graph& g, uint32_t budget);
+// `base_decomposition`, when non-null, must be the anchor-free
+// decomposition of `g` and replaces the internal computation (the api
+// layer passes its cached copy).
+ExactResult RunExact(const Graph& g, uint32_t budget,
+                     const TrussDecomposition* base_decomposition = nullptr);
 
 }  // namespace atr
 

@@ -121,7 +121,9 @@ CandidateOutcome EvaluateCandidate(
 
 }  // namespace
 
-AnchorResult RunGas(const Graph& g, uint32_t budget) {
+AnchorResult RunGas(const Graph& g, uint32_t budget,
+                    const GreedyControl* control,
+                    const TrussDecomposition* seed_decomposition) {
   const uint32_t m = g.NumEdges();
   AnchorResult result;
   if (m == 0) return result;
@@ -129,7 +131,9 @@ AnchorResult RunGas(const Graph& g, uint32_t budget) {
 
   WallTimer timer;
   std::vector<bool> anchored(m, false);
-  TrussDecomposition current = ComputeTrussDecomposition(g, anchored);
+  TrussDecomposition current = seed_decomposition != nullptr
+                                   ? *seed_decomposition
+                                   : ComputeTrussDecomposition(g, anchored);
   TrussComponentTree tree;
   tree.Build(g, current, anchored);
 
@@ -141,6 +145,10 @@ AnchorResult RunGas(const Graph& g, uint32_t budget) {
   FollowerSearch main_search(g);
 
   while (result.anchors.size() < budget) {
+    if (control != nullptr && control->ShouldStop(timer.ElapsedSeconds())) {
+      result.stopped_early = true;
+      break;
+    }
     struct Best {
       uint64_t gain = 0;
       EdgeId edge = kInvalidEdge;
@@ -263,6 +271,7 @@ AnchorResult RunGas(const Graph& g, uint32_t budget) {
     result.total_gain += best.gain;
     result.anchors.push_back(x);
     result.rounds.push_back(std::move(round));
+    if (!NotifyRound(control, budget, result)) break;
   }
   return result;
 }

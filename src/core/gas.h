@@ -20,11 +20,18 @@
 
 #include "core/atr_problem.h"
 #include "graph/graph.h"
+#include "truss/decomposition.h"
 
 namespace atr {
 
-// Runs GAS with the given budget.
-AnchorResult RunGas(const Graph& g, uint32_t budget);
+// Runs GAS with the given budget. `control` may carry a per-round progress
+// callback, a cancellation flag, and a wall-clock limit.
+// `seed_decomposition`, when non-null, must be the anchor-free
+// decomposition of `g` and replaces the round-1 computation (the api layer
+// passes its cached copy).
+AnchorResult RunGas(const Graph& g, uint32_t budget,
+                    const GreedyControl* control = nullptr,
+                    const TrussDecomposition* seed_decomposition = nullptr);
 
 }  // namespace atr
 

@@ -11,18 +11,26 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/atr_problem.h"
 #include "graph/graph.h"
+#include "truss/decomposition.h"
+#include "util/status.h"
 
 namespace atr {
 
 struct RandomBaselineResult {
   uint64_t best_gain = 0;
   std::vector<EdgeId> best_anchors;
+  // Draws actually performed (== the requested trials unless a
+  // GreedyControl stopped the run early).
   uint32_t trials = 0;
   // best_gain at each requested budget checkpoint (ascending budgets), so
   // one call serves a whole Fig. 6 sweep. Entry i corresponds to
   // budget_checkpoints[i] anchors (prefixes of each trial's draw).
   std::vector<uint64_t> gain_at_checkpoint;
+  // True when a GreedyControl stopped the run before all trials finished;
+  // the result then reflects only the trials completed by that point.
+  bool stopped_early = false;
 };
 
 enum class RandomPoolKind {
@@ -31,16 +39,41 @@ enum class RandomPoolKind {
   kTopRouteSize,   // Tur: top 20% by upward-route size
 };
 
-// Runs the baseline. `budget_checkpoints` must be ascending and non-empty;
-// the final checkpoint is the full budget b. Deterministic in `seed`
-// (trials are independent streams; parallelized with ordered reduction).
-RandomBaselineResult RunRandomBaseline(const Graph& g, RandomPoolKind kind,
-                                       const std::vector<uint32_t>& budget_checkpoints,
-                                       uint32_t trials, uint64_t seed);
+// Runs the baseline. Returns InvalidArgument (instead of aborting) when the
+// graph has no edges, `budget_checkpoints` is empty, not strictly
+// ascending, starts below 1, or ends beyond |E| — or beyond the candidate
+// pool size for the top-20% pools (Sup/Tur) — or `trials` is zero. The
+// final checkpoint is the full budget b. Deterministic in `seed` (trials
+// are independent streams; parallelized with ordered reduction) as long as
+// `control` does not interrupt the run. `control->cancel` and the
+// wall-clock limit are checked between trials on every worker; the
+// per-round progress callback is unused (trials are not rounds).
+StatusOr<RandomBaselineResult> RunRandomBaseline(
+    const Graph& g, RandomPoolKind kind,
+    const std::vector<uint32_t>& budget_checkpoints, uint32_t trials,
+    uint64_t seed, const GreedyControl* control = nullptr);
+
+// As above, but reuses `base` — the anchor-free truss decomposition of `g`
+// — instead of recomputing it (the Tur pool and all gain evaluations need
+// one). This is the entry point the api/ solvers use so an AtrEngine's
+// cached decomposition is shared.
+StatusOr<RandomBaselineResult> RunRandomBaseline(
+    const Graph& g, const TrussDecomposition& base, RandomPoolKind kind,
+    const std::vector<uint32_t>& budget_checkpoints, uint32_t trials,
+    uint64_t seed, const GreedyControl* control = nullptr);
 
 // The candidate pool used by `kind` (exposed for tests): all edges, or the
 // top-20% edge ids under the respective score, descending score order.
-std::vector<EdgeId> BaselinePool(const Graph& g, RandomPoolKind kind);
+// When `base` is non-null it is used for the route-size scores instead of
+// a fresh decomposition.
+std::vector<EdgeId> BaselinePool(const Graph& g, RandomPoolKind kind,
+                                 const TrussDecomposition* base = nullptr);
+
+// Number of candidates in the pool `kind` draws from — |E| for Rand, the
+// top-20% count for Sup/Tur — without computing the pool. This is the
+// budget ceiling RunRandomBaseline enforces, exposed so harnesses can
+// clamp environment-supplied budgets instead of tripping the validation.
+uint32_t BaselinePoolCapacity(const Graph& g, RandomPoolKind kind);
 
 }  // namespace atr
 

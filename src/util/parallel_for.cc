@@ -7,8 +7,17 @@
 #include "util/env.h"
 
 namespace atr {
+namespace {
+
+// Per-thread override installed by ScopedParallelism; 0 means none. The
+// override is read on the thread that calls ParallelFor (solvers fan out
+// from the caller's thread), so concurrent engines don't interfere.
+thread_local int t_worker_override = 0;
+
+}  // namespace
 
 int ParallelWorkerCount() {
+  if (t_worker_override > 0) return t_worker_override;
   static const int count = [] {
     int64_t requested = GetEnvInt64("ATR_THREADS", 0);
     if (requested > 0) return static_cast<int>(requested);
@@ -17,6 +26,13 @@ int ParallelWorkerCount() {
   }();
   return count;
 }
+
+ScopedParallelism::ScopedParallelism(int threads)
+    : previous_(t_worker_override) {
+  if (threads > 0) t_worker_override = threads;
+}
+
+ScopedParallelism::~ScopedParallelism() { t_worker_override = previous_; }
 
 void ParallelFor(int64_t n,
                  const std::function<void(int64_t, int64_t)>& body) {

@@ -12,9 +12,26 @@
 
 namespace atr {
 
-// Number of workers ParallelFor uses: ATR_THREADS env override, else
+// Number of workers ParallelFor uses: an active ScopedParallelism override
+// on the calling thread, else the ATR_THREADS env override, else
 // hardware_concurrency(), at least 1.
 int ParallelWorkerCount();
+
+// RAII worker-count override for ParallelFor calls made from the
+// constructing thread (the API layer's SolverOptions::threads). A
+// non-positive `threads` leaves the current setting untouched; overrides
+// nest and are restored in destruction order.
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int threads);
+  ~ScopedParallelism();
+
+  ScopedParallelism(const ScopedParallelism&) = delete;
+  ScopedParallelism& operator=(const ScopedParallelism&) = delete;
+
+ private:
+  int previous_;
+};
 
 // Invokes `body(begin, end)` over a partition of [0, n) into at most
 // `ParallelWorkerCount()` contiguous chunks, one thread per chunk. `body`

@@ -129,9 +129,9 @@ TEST(RandomBaselines, PoolsMatchTheirDefinitions) {
 TEST(RandomBaselines, BestGainIsReproducible) {
   const Graph g = MakeFig3Graph();
   const RandomBaselineResult r1 =
-      RunRandomBaseline(g, RandomPoolKind::kAllEdges, {2}, 50, 99);
+      *RunRandomBaseline(g, RandomPoolKind::kAllEdges, {2}, 50, 99);
   const RandomBaselineResult r2 =
-      RunRandomBaseline(g, RandomPoolKind::kAllEdges, {2}, 50, 99);
+      *RunRandomBaseline(g, RandomPoolKind::kAllEdges, {2}, 50, 99);
   EXPECT_EQ(r1.best_gain, r2.best_gain);
   EXPECT_EQ(r1.best_anchors, r2.best_anchors);
   // Reported gain matches a re-decomposition of the reported anchors.
@@ -142,9 +142,50 @@ TEST(RandomBaselines, BestGainIsReproducible) {
 TEST(RandomBaselines, CheckpointsTrackPrefixes) {
   const Graph g = MakeFig3Graph();
   const RandomBaselineResult r =
-      RunRandomBaseline(g, RandomPoolKind::kAllEdges, {1, 2, 3}, 30, 7);
+      *RunRandomBaseline(g, RandomPoolKind::kAllEdges, {1, 2, 3}, 30, 7);
   ASSERT_EQ(r.gain_at_checkpoint.size(), 3u);
   EXPECT_EQ(r.gain_at_checkpoint.back(), r.best_gain);
+}
+
+TEST(RandomBaselines, InvalidInputsAreRejectedWithStatus) {
+  const Graph g = MakeFig3Graph();
+  // Empty checkpoints.
+  EXPECT_EQ(RunRandomBaseline(g, RandomPoolKind::kAllEdges, {}, 10, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Not strictly ascending.
+  EXPECT_EQ(RunRandomBaseline(g, RandomPoolKind::kAllEdges, {2, 2}, 10, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Budget beyond |E|.
+  EXPECT_EQ(RunRandomBaseline(g, RandomPoolKind::kAllEdges,
+                              {g.NumEdges() + 1}, 10, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Zero checkpoint.
+  EXPECT_EQ(RunRandomBaseline(g, RandomPoolKind::kAllEdges, {0, 2}, 10, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Zero trials.
+  EXPECT_EQ(RunRandomBaseline(g, RandomPoolKind::kAllEdges, {2}, 0, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RandomBaselines, PrecomputedDecompositionMatchesFreshOne) {
+  const Graph g = MakeFig3Graph();
+  const TrussDecomposition base = ComputeTrussDecomposition(g);
+  const RandomBaselineResult fresh =
+      *RunRandomBaseline(g, RandomPoolKind::kTopRouteSize, {2}, 25, 3);
+  const RandomBaselineResult reused =
+      *RunRandomBaseline(g, base, RandomPoolKind::kTopRouteSize, {2}, 25, 3);
+  EXPECT_EQ(fresh.best_gain, reused.best_gain);
+  EXPECT_EQ(fresh.best_anchors, reused.best_anchors);
 }
 
 TEST(Akt, FollowersAreHullEdgesInsideAnchoredKTruss) {

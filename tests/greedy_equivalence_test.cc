@@ -1,15 +1,16 @@
 // The central correctness property of the repository: BASE (brute force),
 // BASE+ (upward-route search) and GAS (route search + tree reuse) are three
 // implementations of the same greedy algorithm and must select identical
-// anchor sequences with identical per-round gains. Also checks the reported
-// total gain against an independent anchored re-decomposition.
+// anchor sequences with identical per-round gains. All solvers run through
+// the unified registry API (api/registry.h) — the same code path benches
+// and services use. Also checks the reported total gain against an
+// independent anchored re-decomposition.
 
 #include <gtest/gtest.h>
 
-#include "core/base_greedy.h"
+#include "api/registry.h"
+#include "api/solver.h"
 #include "graph/generators/social_profiles.h"
-#include "core/base_plus.h"
-#include "core/gas.h"
 #include "tests/paper_fixtures.h"
 #include "tests/test_helpers.h"
 #include "truss/decomposition.h"
@@ -18,11 +19,22 @@
 namespace atr {
 namespace {
 
-void ExpectSameSelections(const AnchorResult& a, const AnchorResult& b,
+SolveResult RunVia(const char* solver_name, const Graph& g, uint32_t budget) {
+  StatusOr<std::unique_ptr<Solver>> solver =
+      SolverRegistry::Create(solver_name);
+  EXPECT_TRUE(solver.ok()) << solver.status().message();
+  SolverOptions options;
+  options.budget = budget;
+  StatusOr<SolveResult> result = (*solver)->Solve(g, options);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return *std::move(result);
+}
+
+void ExpectSameSelections(const SolveResult& a, const SolveResult& b,
                           const char* label) {
-  ASSERT_EQ(a.anchors.size(), b.anchors.size()) << label;
-  for (size_t i = 0; i < a.anchors.size(); ++i) {
-    EXPECT_EQ(a.anchors[i], b.anchors[i]) << label << " round " << i;
+  ASSERT_EQ(a.anchor_edges.size(), b.anchor_edges.size()) << label;
+  for (size_t i = 0; i < a.anchor_edges.size(); ++i) {
+    EXPECT_EQ(a.anchor_edges[i], b.anchor_edges[i]) << label << " round " << i;
     EXPECT_EQ(a.rounds[i].gain, b.rounds[i].gain) << label << " round " << i;
   }
   EXPECT_EQ(a.total_gain, b.total_gain) << label;
@@ -30,9 +42,9 @@ void ExpectSameSelections(const AnchorResult& a, const AnchorResult& b,
 
 TEST(GreedyEquivalence, Fig3AllThreeAgree) {
   const Graph g = MakeFig3Graph();
-  const AnchorResult base = RunBaseGreedy(g, 4);
-  const AnchorResult plus = RunBasePlus(g, 4);
-  const AnchorResult gas = RunGas(g, 4);
+  const SolveResult base = RunVia("base", g, 4);
+  const SolveResult plus = RunVia("base+", g, 4);
+  const SolveResult gas = RunVia("gas", g, 4);
   ExpectSameSelections(base, plus, "BASE vs BASE+");
   ExpectSameSelections(base, gas, "BASE vs GAS");
 }
@@ -41,32 +53,37 @@ TEST(GreedyEquivalence, Fig3FirstAnchorLiftsThreeEdges) {
   // On the running example the best single anchor gains 3 (the 3-hull route
   // of Example 4 — no other edge does better).
   const Graph g = MakeFig3Graph();
-  const AnchorResult gas = RunGas(g, 1);
+  const SolveResult gas = RunVia("gas", g, 1);
   EXPECT_EQ(gas.rounds[0].gain, 3u);
 }
 
 TEST(GreedyEquivalence, TotalGainMatchesRedecomposition) {
   const Graph g = MakeFig3Graph();
-  const AnchorResult gas = RunGas(g, 3);
+  const SolveResult gas = RunVia("gas", g, 3);
   const TrussDecomposition base = ComputeTrussDecomposition(g);
-  EXPECT_EQ(gas.total_gain, TrussnessGain(g, base, {}, gas.anchors));
+  EXPECT_EQ(gas.total_gain, TrussnessGain(g, base, {}, gas.anchor_edges));
 }
 
 TEST(GreedyEquivalence, ReuseStatsCoverAllCandidates) {
   const Graph g = MakeFig3Graph();
-  const AnchorResult gas = RunGas(g, 3);
+  const SolveResult gas = RunVia("gas", g, 3);
+  uint64_t classified_total = 0;
   for (size_t r = 0; r < gas.rounds.size(); ++r) {
     const AnchorRound& round = gas.rounds[r];
     const uint32_t classified = round.fully_reusable +
                                 round.partially_reusable +
                                 round.non_reusable;
     EXPECT_EQ(classified, g.NumEdges() - r) << "round " << r;
+    classified_total += classified;
     if (r == 0) {
       // Round 1 computes everything from scratch.
       EXPECT_EQ(round.fully_reusable, 0u);
       EXPECT_EQ(round.partially_reusable, 0u);
     }
   }
+  // The SolveResult reuse totals aggregate the per-round counters.
+  EXPECT_EQ(gas.fully_reusable + gas.partially_reusable + gas.non_reusable,
+            classified_total);
 }
 
 class GreedyEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
@@ -74,7 +91,7 @@ class GreedyEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(GreedyEquivalenceProperty, BasePlusEqualsBase) {
   const Graph g = MakePropertyGraph(GetParam());
   const uint32_t budget = 3 + GetParam() % 3;
-  ExpectSameSelections(RunBaseGreedy(g, budget), RunBasePlus(g, budget),
+  ExpectSameSelections(RunVia("base", g, budget), RunVia("base+", g, budget),
                        "BASE vs BASE+");
 }
 
@@ -82,16 +99,16 @@ TEST_P(GreedyEquivalenceProperty, GasEqualsBasePlus) {
   // The deeper budget stresses multi-round cache reuse in GAS.
   const Graph g = MakePropertyGraph(GetParam());
   const uint32_t budget = 5 + GetParam() % 4;
-  ExpectSameSelections(RunBasePlus(g, budget), RunGas(g, budget),
+  ExpectSameSelections(RunVia("base+", g, budget), RunVia("gas", g, budget),
                        "BASE+ vs GAS");
 }
 
 TEST_P(GreedyEquivalenceProperty, GasTotalGainMatchesRedecomposition) {
   const uint64_t seed = GetParam();
   const Graph g = MakePropertyGraph(seed);
-  const AnchorResult gas = RunGas(g, 4);
+  const SolveResult gas = RunVia("gas", g, 4);
   const TrussDecomposition base = ComputeTrussDecomposition(g);
-  EXPECT_EQ(gas.total_gain, TrussnessGain(g, base, {}, gas.anchors))
+  EXPECT_EQ(gas.total_gain, TrussnessGain(g, base, {}, gas.anchor_edges))
       << "seed " << seed;
 }
 
@@ -100,7 +117,7 @@ TEST_P(GreedyEquivalenceProperty, MarginalGainsAreFollowerCounts) {
   // given the previous ones (checked by incremental re-decomposition).
   const uint64_t seed = GetParam();
   const Graph g = MakePropertyGraph(seed);
-  const AnchorResult gas = RunGas(g, 4);
+  const SolveResult gas = RunVia("gas", g, 4);
   std::vector<bool> anchored(g.NumEdges(), false);
   TrussDecomposition current = ComputeTrussDecomposition(g, anchored);
   for (const AnchorRound& round : gas.rounds) {
@@ -121,13 +138,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GreedyEquivalenceProperty,
 // per-node (instead of per-level-group) reuse gets wrong.
 TEST(GreedyEquivalence, GeometricProfileDeepBudget) {
   const Graph g = MakeSocialProfile("gowalla", 0.05, 0);
-  ExpectSameSelections(RunBasePlus(g, 10), RunGas(g, 10),
+  ExpectSameSelections(RunVia("base+", g, 10), RunVia("gas", g, 10),
                        "BASE+ vs GAS (gowalla stand-in)");
 }
 
 TEST(GreedyEquivalence, WebProfileDeepBudget) {
   const Graph g = MakeSocialProfile("google", 0.03, 0);
-  ExpectSameSelections(RunBasePlus(g, 10), RunGas(g, 10),
+  ExpectSameSelections(RunVia("base+", g, 10), RunVia("gas", g, 10),
                        "BASE+ vs GAS (google stand-in)");
 }
 
