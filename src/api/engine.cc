@@ -30,4 +30,67 @@ StatusOr<SolveResult> AtrEngine::RunSweep(
   return Run(solver, options);
 }
 
+IncrementalTruss& AtrEngine::EnsureSession() {
+  if (session_ == nullptr) {
+    // Seed from the cached decomposition (a build if this is the first
+    // consumer, a reuse otherwise); from here on the session keeps that
+    // state current in place.
+    session_ = std::make_unique<IncrementalTruss>(*graph_,
+                                                  context_.Decomposition());
+    context_.BindSession(&session_->decomposition(), &session_->anchored());
+  }
+  return *session_;
+}
+
+StatusOr<uint32_t> AtrEngine::ApplyAnchor(EdgeId e) {
+  if (e >= graph_->NumEdges()) {
+    return Status::InvalidArgument("ApplyAnchor: edge id out of range");
+  }
+  IncrementalTruss& session = EnsureSession();
+  if (!session.IsAlive(e)) {
+    return Status::InvalidArgument("ApplyAnchor: edge was removed");
+  }
+  if (session.IsAnchored(e)) {
+    return Status::InvalidArgument("ApplyAnchor: edge is already anchored");
+  }
+  return session.ApplyAnchor(e);
+}
+
+StatusOr<uint64_t> AtrEngine::RemoveEdge(EdgeId e) {
+  if (e >= graph_->NumEdges()) {
+    return Status::InvalidArgument("RemoveEdge: edge id out of range");
+  }
+  IncrementalTruss& session = EnsureSession();
+  if (!session.IsAlive(e)) {
+    return Status::InvalidArgument("RemoveEdge: edge was already removed");
+  }
+  if (session.IsAnchored(e)) {
+    return Status::InvalidArgument(
+        "RemoveEdge: anchored edges cannot be removed");
+  }
+  return session.RemoveEdge(e);
+}
+
+AtrEngine::SessionCheckpoint AtrEngine::MarkRollbackPoint() const {
+  return session_ == nullptr ? SessionCheckpoint{}
+                             : session_->MarkRollbackPoint();
+}
+
+Status AtrEngine::RollbackTo(SessionCheckpoint checkpoint) {
+  if (session_ == nullptr) {
+    if (checkpoint.position != 0) {
+      return Status::InvalidArgument("RollbackTo: unknown checkpoint");
+    }
+    return Status::Ok();
+  }
+  if (!session_->IsValidCheckpoint(checkpoint)) {
+    // Out of range, or invalidated by a deeper rollback after which the
+    // log regrew — restoring it would land mid-mutation.
+    return Status::InvalidArgument(
+        "RollbackTo: stale or unknown session checkpoint");
+  }
+  session_->RollbackTo(checkpoint);
+  return Status::Ok();
+}
+
 }  // namespace atr

@@ -14,17 +14,31 @@
 //
 //   StatusOr<SolveResult> sweep = engine.RunSweep("gas", {20, 40, 60});
 //
+// Mutable session mode: anchors can be committed (and edges removed)
+// directly on the engine. The cached decomposition is NOT invalidated —
+// it is updated in place by the incremental maintenance engine
+// (truss/incremental.h), and later greedy solver runs start from the
+// committed state:
+//
+//   StatusOr<uint32_t> gain = engine.ApplyAnchor(e);   // trussness gain
+//   AtrEngine::SessionCheckpoint cp = engine.MarkRollbackPoint();
+//   engine.ApplyAnchor(f);                              // speculate...
+//   engine.RollbackTo(cp);                              // ...and undo
+//   StatusOr<SolveResult> more = engine.Run("gas", options);  // residual
+//
 // Engines are single-session objects: not thread-safe, cheap to create
 // (nothing is computed until a solver needs it).
 
 #ifndef ATR_API_ENGINE_H_
 #define ATR_API_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/solver.h"
 #include "graph/graph.h"
+#include "truss/incremental.h"
 #include "util/status.h"
 
 namespace atr {
@@ -60,9 +74,36 @@ class AtrEngine {
                                  const std::vector<uint32_t>& checkpoints,
                                  SolverOptions options = {});
 
-  // Cached shared state (computed on first use).
+  // Cached shared state (computed on first use). In mutable session mode
+  // this reflects every committed mutation without ever being rebuilt.
   const TrussDecomposition& Decomposition() { return context_.Decomposition(); }
   uint32_t MaxTrussness() { return context_.MaxTrussness(); }
+
+  // --- Mutable session mode ---------------------------------------------
+  // Commits `e` as an anchor of the session graph; the cached decomposition
+  // is updated incrementally. Returns the trussness gain of the commit.
+  // Errors (out of range, removed, already anchored) flow back as Status.
+  StatusOr<uint32_t> ApplyAnchor(EdgeId e);
+
+  // Removes edge `e` from the session graph (its trussness reads
+  // kTrussnessNotComputed afterwards). Returns the total trussness lost by
+  // the other edges.
+  StatusOr<uint64_t> RemoveEdge(EdgeId e);
+
+  // Undo-log cursor over the session mutations. MarkRollbackPoint() before
+  // any mutation returns the pristine checkpoint (0); RollbackTo() restores
+  // the session state byte-identically.
+  using SessionCheckpoint = IncrementalTruss::Checkpoint;
+  SessionCheckpoint MarkRollbackPoint() const;
+  Status RollbackTo(SessionCheckpoint checkpoint);
+
+  // Whether any session mutation was ever committed (a rolled-back session
+  // still counts: non-greedy solvers reject it conservatively).
+  bool HasSessionMutations() const { return session_ != nullptr; }
+
+  // The incremental engine backing the session (stats, anchor mask, alive
+  // set); nullptr before the first mutation.
+  const IncrementalTruss* session() const { return session_.get(); }
 
   // Cache instrumentation, forwarded from the context.
   uint32_t decomposition_builds() const {
@@ -73,9 +114,14 @@ class AtrEngine {
   }
 
  private:
+  // Creates the session engine from the cached decomposition and binds it
+  // to the context (idempotent).
+  IncrementalTruss& EnsureSession();
+
   Graph owned_graph_;    // empty in borrowing mode
   const Graph* graph_;   // &owned_graph_, or the borrowed graph
   SolverContext context_;
+  std::unique_ptr<IncrementalTruss> session_;
 };
 
 }  // namespace atr

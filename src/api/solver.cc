@@ -5,6 +5,12 @@
 namespace atr {
 
 const TrussDecomposition& SolverContext::Decomposition() {
+  if (session_decomposition_ != nullptr) {
+    // The bound session's incrementally maintained state IS the cache; it
+    // was seeded from it and stays valid across commits.
+    ++decomposition_reuses_;
+    return *session_decomposition_;
+  }
   if (decomposition_ == nullptr) {
     decomposition_ = std::make_unique<TrussDecomposition>(
         ComputeTrussDecomposition(*graph_));
@@ -13,6 +19,16 @@ const TrussDecomposition& SolverContext::Decomposition() {
     ++decomposition_reuses_;
   }
   return *decomposition_;
+}
+
+void SolverContext::BindSession(const TrussDecomposition* decomposition,
+                                const std::vector<bool>* anchors) {
+  ATR_CHECK((decomposition == nullptr) == (anchors == nullptr));
+  session_decomposition_ = decomposition;
+  session_anchors_ = anchors;
+  // The session state supersedes the context's own copy permanently; free
+  // it rather than keeping a stale O(|E|) duplicate alive.
+  if (decomposition != nullptr) decomposition_.reset();
 }
 
 uint32_t SolverContext::MaxTrussness() { return Decomposition().max_trussness; }

@@ -75,6 +75,12 @@ struct SolverOptions {
   // Worker threads for the parallel inner loops; 0 keeps the process-wide
   // default (ATR_THREADS env, else hardware concurrency).
   int threads = 0;
+  // Greedy family only (base/base+/gas): maintain the truss decomposition
+  // across rounds with truss/incremental.h instead of recomputing it after
+  // every committed anchor (BASE additionally evaluates candidates by
+  // speculative apply/rollback). Results are identical to the
+  // full-recompute path; ignored by the other solvers.
+  bool use_incremental = false;
   // Called after every round/checkpoint; returning false cancels the run
   // (result is the prefix selected so far, stopped_early set).
   std::function<bool(const SolveProgress&)> progress;
@@ -138,6 +144,19 @@ class SolverContext {
   // graph; later Decomposition() calls count as reuses, not builds.
   void PrimeDecomposition(TrussDecomposition decomposition);
 
+  // Binds a mutable session (api/engine.h): `decomposition` and `anchors`
+  // are the engine's incrementally maintained state and must outlive the
+  // binding. While bound, Decomposition() serves the session decomposition
+  // (still counted as reuses — it is the same cached state, updated in
+  // place) and session_anchors() exposes the committed anchor mask that
+  // greedy solvers start from. Pass nullptrs to unbind.
+  void BindSession(const TrussDecomposition* decomposition,
+                   const std::vector<bool>* anchors);
+  bool has_session() const { return session_decomposition_ != nullptr; }
+  // Committed anchors of the bound session; nullptr when no session is
+  // bound (solvers then start from an anchor-free graph).
+  const std::vector<bool>* session_anchors() const { return session_anchors_; }
+
   // Cache instrumentation: how many times the decomposition was computed
   // (at most 1) vs. served from cache.
   uint32_t decomposition_builds() const { return decomposition_builds_; }
@@ -146,6 +165,8 @@ class SolverContext {
  private:
   const Graph* graph_;
   std::unique_ptr<TrussDecomposition> decomposition_;
+  const TrussDecomposition* session_decomposition_ = nullptr;
+  const std::vector<bool>* session_anchors_ = nullptr;
   uint32_t decomposition_builds_ = 0;
   uint32_t decomposition_reuses_ = 0;
 };

@@ -28,6 +28,20 @@ bool CancelRequested(const SolverOptions& options) {
          options.cancel->load(std::memory_order_relaxed);
 }
 
+// The greedy family starts from a mutable session's committed anchors; the
+// other solvers have no notion of pre-existing anchors or removed edges and
+// would silently solve the wrong problem.
+Status RejectMutatedSession(const SolverContext& context,
+                            const std::string& name) {
+  if (context.has_session()) {
+    return Status::FailedPrecondition(
+        name +
+        ": engine sessions with committed mutations are only supported by "
+        "the greedy solvers (base, base+, gas)");
+  }
+  return Status::Ok();
+}
+
 // Wires SolverOptions into the core GreedyControl: cancel flag and
 // wall-clock limit pass through; the progress callback (when set) is
 // adapted from GreedyProgress to SolveProgress under `name`. The returned
@@ -88,23 +102,27 @@ class GreedySolver : public Solver {
     if (!status.ok()) return status;
 
     ScopedParallelism parallelism(options.threads);
-    const GreedyControl control = MakeRoundControl(name_, options);
+    GreedyControl control = MakeRoundControl(name_, options);
+    control.use_incremental = options.use_incremental;
 
-    // Round 1 of every greedy equals the anchor-free decomposition, so the
-    // context's cached copy seeds it (one decomposition shared across an
-    // engine's solves).
+    // Round 1 of every greedy equals the cached decomposition — the
+    // anchor-free one, or the mutable session's incrementally maintained
+    // state, whose committed anchors the run then builds on.
     const TrussDecomposition& seed = context.Decomposition();
+    const std::vector<bool>* initial_anchors = context.session_anchors();
     WallTimer timer;
     AnchorResult run;
     switch (kind_) {
       case Kind::kBase:
-        run = RunBaseGreedy(g, options.budget, &control, &seed);
+        run = RunBaseGreedy(g, options.budget, &control, &seed,
+                            initial_anchors);
         break;
       case Kind::kBasePlus:
-        run = RunBasePlus(g, options.budget, &control, &seed);
+        run = RunBasePlus(g, options.budget, &control, &seed,
+                          initial_anchors);
         break;
       case Kind::kGas:
-        run = RunGas(g, options.budget, &control, &seed);
+        run = RunGas(g, options.budget, &control, &seed, initial_anchors);
         break;
     }
 
@@ -143,6 +161,8 @@ class ExactSolver : public Solver {
                               const SolverOptions& options) const override {
     const Graph& g = context.graph();
     Status status = ValidateSolverOptions(g, options);
+    if (!status.ok()) return status;
+    status = RejectMutatedSession(context, Name());
     if (!status.ok()) return status;
 
     ScopedParallelism parallelism(options.threads);
@@ -196,6 +216,8 @@ class RandomSolver : public Solver {
     const Graph& g = context.graph();
     Status status = ValidateSolverOptions(g, options);
     if (!status.ok()) return status;
+    status = RejectMutatedSession(context, name_);
+    if (!status.ok()) return status;
 
     ScopedParallelism parallelism(options.threads);
     // Trials are not rounds: only the cancel flag and wall-clock limit
@@ -246,6 +268,8 @@ class AktSolver : public Solver {
                               const SolverOptions& options) const override {
     const Graph& g = context.graph();
     Status status = ValidateVertexSolverOptions(g, options);
+    if (!status.ok()) return status;
+    status = RejectMutatedSession(context, Name());
     if (!status.ok()) return status;
 
     ScopedParallelism parallelism(options.threads);

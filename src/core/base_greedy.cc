@@ -2,27 +2,117 @@
 
 #include <mutex>
 
+#include "core/greedy_internal.h"
 #include "truss/decomposition.h"
 #include "truss/gain.h"
+#include "truss/incremental.h"
 #include "util/macros.h"
 #include "util/parallel_for.h"
 #include "util/timer.h"
 
 namespace atr {
+namespace {
+
+struct Best {
+  uint64_t gain = 0;
+  EdgeId edge = kInvalidEdge;
+};
+
+Best MergeBests(const std::vector<Best>& bests) {
+  Best best;
+  for (const Best& b : bests) {
+    if (b.edge == kInvalidEdge) continue;
+    if (best.edge == kInvalidEdge ||
+        BetterCandidate(b.gain, b.edge, best.gain, best.edge)) {
+      best = b;
+    }
+  }
+  return best;
+}
+
+// Same greedy on an IncrementalTruss engine: candidate gains come from
+// speculative ApplyAnchor + rollback on per-worker clones, the committed
+// anchor updates the shared decomposition locally. Anchor sequences and
+// gains are identical to the brute-force path below.
+AnchorResult RunBaseGreedyIncremental(
+    const Graph& g, uint32_t budget, const GreedyControl* control,
+    const TrussDecomposition* seed_decomposition,
+    const std::vector<bool>* initial_anchors) {
+  const uint32_t m = g.NumEdges();
+  AnchorResult result;
+  WallTimer timer;
+  IncrementalTruss engine =
+      MakeGreedyEngine(g, seed_decomposition, initial_anchors);
+
+  while (result.anchors.size() < budget) {
+    if (control != nullptr && control->ShouldStop(timer.ElapsedSeconds())) {
+      result.stopped_early = true;
+      break;
+    }
+    std::vector<Best> bests;
+    std::mutex mu;
+    ParallelFor(m, [&](int64_t begin, int64_t end) {
+      IncrementalTruss local(engine);
+      Best chunk;
+      for (int64_t i = begin; i < end; ++i) {
+        const EdgeId e = static_cast<EdgeId>(i);
+        if (!local.IsAlive(e) || local.IsAnchored(e)) continue;
+        const IncrementalTruss::Checkpoint cp = local.MarkRollbackPoint();
+        const uint64_t gain = local.ApplyAnchor(e);
+        local.RollbackTo(cp);
+        if (chunk.edge == kInvalidEdge ||
+            BetterCandidate(gain, e, chunk.gain, chunk.edge)) {
+          chunk = Best{gain, e};
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      bests.push_back(chunk);
+    });
+    const Best best = MergeBests(bests);
+    if (best.edge == kInvalidEdge) break;  // no eligible candidate left
+
+    AnchorRound round;
+    round.anchor = best.edge;
+    std::vector<EdgeId> followers;
+    const uint32_t gain = engine.ApplyAnchor(best.edge, &followers);
+    ATR_CHECK_MSG(gain == best.gain,
+                  "committed gain diverged from speculative evaluation");
+    round.gain = gain;
+    for (const EdgeId f : followers) {
+      // Each follower rose by exactly 1; recover its pre-anchor trussness.
+      round.follower_trussness.push_back(
+          engine.decomposition().trussness[f] - 1);
+    }
+    engine.ClearUndoLog();
+    round.cumulative_seconds = timer.ElapsedSeconds();
+    result.total_gain += gain;
+    result.anchors.push_back(best.edge);
+    result.rounds.push_back(std::move(round));
+    if (!NotifyRound(control, budget, result)) break;
+  }
+  return result;
+}
+
+}  // namespace
 
 AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget,
                            const GreedyControl* control,
-                           const TrussDecomposition* seed_decomposition) {
+                           const TrussDecomposition* seed_decomposition,
+                           const std::vector<bool>* initial_anchors) {
   const uint32_t m = g.NumEdges();
   AnchorResult result;
   if (m == 0) return result;
   budget = std::min<uint32_t>(budget, m);
+  if (control != nullptr && control->use_incremental) {
+    return RunBaseGreedyIncremental(g, budget, control, seed_decomposition,
+                                    initial_anchors);
+  }
 
   WallTimer timer;
-  std::vector<bool> anchored(m, false);
-  TrussDecomposition current = seed_decomposition != nullptr
-                                   ? *seed_decomposition
-                                   : ComputeTrussDecomposition(g, anchored);
+  GreedySeedState state =
+      MakeGreedySeedState(g, seed_decomposition, initial_anchors);
+  std::vector<bool>& anchored = state.anchored;
+  TrussDecomposition& current = state.current;
 
   while (result.anchors.size() < budget) {
     if (control != nullptr && control->ShouldStop(timer.ElapsedSeconds())) {
@@ -30,17 +120,13 @@ AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget,
       break;
     }
     // Chunk-local winners merged deterministically by (gain, edge id).
-    struct Best {
-      uint64_t gain = 0;
-      EdgeId edge = kInvalidEdge;
-    };
     std::vector<Best> bests;
     std::mutex mu;
     ParallelFor(m, [&](int64_t begin, int64_t end) {
       Best local;
       for (int64_t i = begin; i < end; ++i) {
         const EdgeId e = static_cast<EdgeId>(i);
-        if (anchored[e]) continue;
+        if (!EligibleCandidate(current, anchored, e)) continue;
         const uint64_t gain = TrussnessGain(g, current, anchored, {e});
         if (local.edge == kInvalidEdge ||
             BetterCandidate(gain, e, local.gain, local.edge)) {
@@ -50,15 +136,8 @@ AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget,
       std::lock_guard<std::mutex> lock(mu);
       bests.push_back(local);
     });
-    Best best;
-    for (const Best& b : bests) {
-      if (b.edge == kInvalidEdge) continue;
-      if (best.edge == kInvalidEdge ||
-          BetterCandidate(b.gain, b.edge, best.gain, best.edge)) {
-        best = b;
-      }
-    }
-    ATR_CHECK(best.edge != kInvalidEdge);
+    const Best best = MergeBests(bests);
+    if (best.edge == kInvalidEdge) break;  // no eligible candidate left
 
     // Record the followers' trussness before applying the anchor.
     AnchorRound round;
@@ -69,7 +148,7 @@ AnchorResult RunBaseGreedy(const Graph& g, uint32_t budget,
     }
 
     anchored[best.edge] = true;
-    current = ComputeTrussDecomposition(g, anchored);
+    current = RecomputeGreedyState(g, anchored, state.alive);
     round.cumulative_seconds = timer.ElapsedSeconds();
     result.total_gain += best.gain;
     result.anchors.push_back(best.edge);

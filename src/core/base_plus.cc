@@ -3,8 +3,10 @@
 #include <memory>
 #include <mutex>
 
+#include "core/greedy_internal.h"
 #include "route/follower_search.h"
 #include "truss/decomposition.h"
+#include "truss/incremental.h"
 #include "util/macros.h"
 #include "util/parallel_for.h"
 #include "util/timer.h"
@@ -13,17 +15,34 @@ namespace atr {
 
 AnchorResult RunBasePlus(const Graph& g, uint32_t budget,
                          const GreedyControl* control,
-                         const TrussDecomposition* seed_decomposition) {
+                         const TrussDecomposition* seed_decomposition,
+                         const std::vector<bool>* initial_anchors) {
   const uint32_t m = g.NumEdges();
   AnchorResult result;
   if (m == 0) return result;
   budget = std::min<uint32_t>(budget, m);
 
   WallTimer timer;
-  std::vector<bool> anchored(m, false);
-  TrussDecomposition current = seed_decomposition != nullptr
-                                   ? *seed_decomposition
-                                   : ComputeTrussDecomposition(g, anchored);
+  // Two ways to keep the shared (decomposition, anchors) state current:
+  // recompute from scratch after each commit (classic), or maintain it with
+  // the incremental engine. Candidate evaluation reads the same state
+  // either way, so the selected anchors are identical.
+  const bool use_incremental =
+      control != nullptr && control->use_incremental;
+  std::unique_ptr<IncrementalTruss> engine;
+  GreedySeedState state;
+  const TrussDecomposition* current = nullptr;
+  const std::vector<bool>* anchored = nullptr;
+  if (use_incremental) {
+    engine = std::make_unique<IncrementalTruss>(
+        MakeGreedyEngine(g, seed_decomposition, initial_anchors));
+    current = &engine->decomposition();
+    anchored = &engine->anchored();
+  } else {
+    state = MakeGreedySeedState(g, seed_decomposition, initial_anchors);
+    current = &state.current;
+    anchored = &state.anchored;
+  }
   FollowerSearch main_search(g);
 
   while (result.anchors.size() < budget) {
@@ -40,11 +59,11 @@ AnchorResult RunBasePlus(const Graph& g, uint32_t budget,
     ParallelFor(m, [&](int64_t begin, int64_t end) {
       // Worker-local search state (epoch-stamped scratch arrays).
       FollowerSearch search(g);
-      search.SetState(&current, &anchored);
+      search.SetState(current, anchored);
       Best local;
       for (int64_t i = begin; i < end; ++i) {
         const EdgeId e = static_cast<EdgeId>(i);
-        if (anchored[e]) continue;
+        if (!EligibleCandidate(*current, *anchored, e)) continue;
         const uint64_t gain = search.CountFollowers(e);
         if (local.edge == kInvalidEdge ||
             BetterCandidate(gain, e, local.gain, local.edge)) {
@@ -62,21 +81,32 @@ AnchorResult RunBasePlus(const Graph& g, uint32_t budget,
         best = b;
       }
     }
-    ATR_CHECK(best.edge != kInvalidEdge);
+    if (best.edge == kInvalidEdge) break;  // no eligible candidate left
 
     AnchorRound round;
     round.anchor = best.edge;
     round.gain = static_cast<uint32_t>(best.gain);
-    std::vector<EdgeId> followers;
-    main_search.SetState(&current, &anchored);
-    const uint32_t recount = main_search.CountFollowers(best.edge, &followers);
-    ATR_CHECK(recount == best.gain);
-    for (EdgeId f : followers) {
-      round.follower_trussness.push_back(current.trussness[f]);
+    if (use_incremental) {
+      std::vector<EdgeId> followers;
+      const uint32_t recount = engine->ApplyAnchor(best.edge, &followers);
+      ATR_CHECK(recount == best.gain);
+      for (const EdgeId f : followers) {
+        // Each follower rose by exactly 1; recover the pre-anchor value.
+        round.follower_trussness.push_back(current->trussness[f] - 1);
+      }
+      engine->ClearUndoLog();
+    } else {
+      std::vector<EdgeId> followers;
+      main_search.SetState(current, anchored);
+      const uint32_t recount =
+          main_search.CountFollowers(best.edge, &followers);
+      ATR_CHECK(recount == best.gain);
+      for (const EdgeId f : followers) {
+        round.follower_trussness.push_back(current->trussness[f]);
+      }
+      state.anchored[best.edge] = true;
+      state.current = RecomputeGreedyState(g, state.anchored, state.alive);
     }
-
-    anchored[best.edge] = true;
-    current = ComputeTrussDecomposition(g, anchored);
     round.cumulative_seconds = timer.ElapsedSeconds();
     result.total_gain += best.gain;
     result.anchors.push_back(best.edge);

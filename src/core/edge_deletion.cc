@@ -5,27 +5,11 @@
 
 #include "truss/decomposition.h"
 #include "truss/gain.h"
+#include "truss/incremental.h"
 #include "util/macros.h"
 #include "util/parallel_for.h"
 
 namespace atr {
-namespace {
-
-// Total trussness of all edges except `deleted` in the subgraph without it.
-uint64_t TotalTrussnessWithout(const Graph& g, EdgeId deleted) {
-  std::vector<EdgeId> subset;
-  subset.reserve(g.NumEdges());
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    if (e != deleted) subset.push_back(e);
-  }
-  const TrussDecomposition decomp =
-      ComputeTrussDecompositionOnSubset(g, {}, subset);
-  uint64_t total = 0;
-  for (EdgeId e : subset) total += decomp.trussness[e];
-  return total;
-}
-
-}  // namespace
 
 EdgeDeletionResult RunEdgeDeletionBaseline(const Graph& g, uint32_t budget) {
   const uint32_t m = g.NumEdges();
@@ -33,21 +17,24 @@ EdgeDeletionResult RunEdgeDeletionBaseline(const Graph& g, uint32_t budget) {
   if (m == 0) return result;
   budget = std::min<uint32_t>(budget, m);
 
-  const TrussDecomposition base = ComputeTrussDecomposition(g);
-  uint64_t baseline_total = 0;
-  for (EdgeId e = 0; e < m; ++e) baseline_total += base.trussness[e];
+  const IncrementalTruss engine(g);
+  const TrussDecomposition& base = engine.decomposition();
 
   // Deletion impact of each edge: the trussness lost by the *other* edges
   // when it is removed. Impacts are independent per candidate, so the
-  // "greedy" selection is the top-b ranking.
+  // "greedy" selection is the top-b ranking. Each candidate is scored by a
+  // speculative RemoveEdge + rollback on a per-worker clone of the
+  // incremental engine — one localized update per candidate instead of one
+  // full decomposition, and the rollback guarantees the next candidate of
+  // the chunk never sees stale support state from the previous one.
   std::vector<uint64_t> impact(m, 0);
   ParallelFor(m, [&](int64_t begin, int64_t end) {
+    IncrementalTruss local(engine);
     for (int64_t i = begin; i < end; ++i) {
       const EdgeId e = static_cast<EdgeId>(i);
-      const uint64_t remaining = TotalTrussnessWithout(g, e);
-      const uint64_t own = base.trussness[e];
-      ATR_DCHECK(baseline_total >= remaining + own);
-      impact[e] = baseline_total - remaining - own;
+      const IncrementalTruss::Checkpoint cp = local.MarkRollbackPoint();
+      impact[e] = local.RemoveEdge(e);
+      local.RollbackTo(cp);
     }
   });
 

@@ -1,12 +1,15 @@
 #include "core/gas.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 
+#include "core/greedy_internal.h"
 #include "graph/triangles.h"
 #include "route/follower_search.h"
 #include "tree/component_tree.h"
 #include "truss/decomposition.h"
+#include "truss/incremental.h"
 #include "util/macros.h"
 #include "util/parallel_for.h"
 #include "util/timer.h"
@@ -123,19 +126,35 @@ CandidateOutcome EvaluateCandidate(
 
 AnchorResult RunGas(const Graph& g, uint32_t budget,
                     const GreedyControl* control,
-                    const TrussDecomposition* seed_decomposition) {
+                    const TrussDecomposition* seed_decomposition,
+                    const std::vector<bool>* initial_anchors) {
   const uint32_t m = g.NumEdges();
   AnchorResult result;
   if (m == 0) return result;
   budget = std::min<uint32_t>(budget, m);
 
   WallTimer timer;
-  std::vector<bool> anchored(m, false);
-  TrussDecomposition current = seed_decomposition != nullptr
-                                   ? *seed_decomposition
-                                   : ComputeTrussDecomposition(g, anchored);
+  // Shared (decomposition, anchors) state: recomputed from scratch after
+  // each commit (classic), or maintained by the incremental engine. The
+  // candidate evaluation and reuse logic read the same state either way.
+  const bool use_incremental =
+      control != nullptr && control->use_incremental;
+  std::unique_ptr<IncrementalTruss> engine;
+  GreedySeedState state;
+  const TrussDecomposition* current = nullptr;
+  const std::vector<bool>* anchored_view = nullptr;
+  if (use_incremental) {
+    engine = std::make_unique<IncrementalTruss>(
+        MakeGreedyEngine(g, seed_decomposition, initial_anchors));
+    current = &engine->decomposition();
+    anchored_view = &engine->anchored();
+  } else {
+    state = MakeGreedySeedState(g, seed_decomposition, initial_anchors);
+    current = &state.current;
+    anchored_view = &state.anchored;
+  }
   TrussComponentTree tree;
-  tree.Build(g, current, anchored);
+  tree.Build(g, *current, *anchored_view);
 
   std::vector<NodeCounts> caches(m);
   std::vector<uint32_t> dirty_nodes;  // sorted ES node ids for this round
@@ -160,14 +179,14 @@ AnchorResult RunGas(const Graph& g, uint32_t budget,
     std::mutex mu;
     ParallelFor(m, [&](int64_t begin, int64_t end) {
       FollowerSearch search(g);
-      search.SetState(&current, &anchored);
+      search.SetState(current, anchored_view);
       std::vector<std::pair<uint32_t, uint32_t>> scratch;
       Best local;
       for (int64_t i = begin; i < end; ++i) {
         const EdgeId e = static_cast<EdgeId>(i);
-        if (anchored[e]) continue;
+        if (!EligibleCandidate(*current, *anchored_view, e)) continue;
         const CandidateOutcome outcome =
-            EvaluateCandidate(g, current, tree, dirty_nodes,
+            EvaluateCandidate(g, *current, tree, dirty_nodes,
                               needs_full[e] != 0, e, search, caches[e],
                               scratch);
         local.fr += outcome.reuse_class == 0;
@@ -194,7 +213,7 @@ AnchorResult RunGas(const Graph& g, uint32_t budget,
         best.edge = b.edge;
       }
     }
-    ATR_CHECK(best.edge != kInvalidEdge);
+    if (best.edge == kInvalidEdge) break;  // no eligible candidate left
     const EdgeId x = best.edge;
 
     AnchorRound round;
@@ -207,24 +226,24 @@ AnchorResult RunGas(const Graph& g, uint32_t budget,
     // Followers of the chosen anchor (for follower-trussness stats and as a
     // cross-check that the cached gain is exact).
     std::vector<EdgeId> followers;
-    main_search.SetState(&current, &anchored);
+    main_search.SetState(current, anchored_view);
     const uint32_t recount = main_search.CountFollowers(x, &followers);
     ATR_CHECK_MSG(recount == best.gain, "reused gain diverged from recount");
     for (EdgeId f : followers) {
-      round.follower_trussness.push_back(current.trussness[f]);
+      round.follower_trussness.push_back(current->trussness[f]);
     }
 
     // sla(x) under the *old* tree: every node currently triangle-adjacent to
     // x from above. These become dirty because x turns into an
     // always-countable partner inside them (DESIGN.md §4 deviation).
     std::vector<uint32_t> next_dirty;
-    const uint32_t tx = current.trussness[x];
+    const uint32_t tx = current->trussness[x];
     {
       const std::vector<uint32_t>& edge_node = tree.edge_node_ids();
       ForEachTriangleOfEdge(g, x, [&](VertexId, EdgeId e1, EdgeId e2) {
         for (const EdgeId p : {e1, e2}) {
           if (edge_node[p] == kNoTreeNode) continue;
-          if (current.trussness[p] >= tx) next_dirty.push_back(edge_node[p]);
+          if (current->trussness[p] >= tx) next_dirty.push_back(edge_node[p]);
         }
       });
       if (tree.NodeIdOf(x) != kNoTreeNode) {
@@ -232,12 +251,22 @@ AnchorResult RunGas(const Graph& g, uint32_t budget,
       }
     }
 
-    // Apply the anchor and rebuild decomposition + tree.
-    const TrussDecomposition previous = std::move(current);
+    // Apply the anchor and rebuild decomposition + tree. The incremental
+    // path must copy the pre-anchor state (the engine updates in place);
+    // the classic path moves it out before recomputing.
+    TrussDecomposition previous;
     const std::vector<uint32_t> previous_nodes = tree.edge_node_ids();
-    anchored[x] = true;
-    current = ComputeTrussDecomposition(g, anchored);
-    tree.Build(g, current, anchored);
+    if (use_incremental) {
+      previous = *current;
+      const uint32_t committed = engine->ApplyAnchor(x);
+      ATR_CHECK(committed == best.gain);
+      engine->ClearUndoLog();
+    } else {
+      previous = std::move(state.current);
+      state.anchored[x] = true;
+      state.current = RecomputeGreedyState(g, state.anchored, state.alive);
+    }
+    tree.Build(g, *current, *anchored_view);
 
     // ES: nodes (old and new) of every edge whose (t, l) changed — this
     // covers follower nodes, merged/renumbered nodes, and layer shifts —
@@ -247,8 +276,8 @@ AnchorResult RunGas(const Graph& g, uint32_t budget,
     const std::vector<uint32_t>& new_nodes = tree.edge_node_ids();
     for (EdgeId e = 0; e < m; ++e) {
       const bool own_changed =
-          e == x || previous.trussness[e] != current.trussness[e] ||
-          previous.layer[e] != current.layer[e];
+          e == x || previous.trussness[e] != current->trussness[e] ||
+          previous.layer[e] != current->layer[e];
       needs_full[e] = own_changed ? 1 : 0;
       if (own_changed) caches[e].clear();
       // A node whose identity changed is dirty under both ids. This covers

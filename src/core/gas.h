@@ -18,6 +18,8 @@
 #ifndef ATR_CORE_GAS_H_
 #define ATR_CORE_GAS_H_
 
+#include <vector>
+
 #include "core/atr_problem.h"
 #include "graph/graph.h"
 #include "truss/decomposition.h"
@@ -25,13 +27,19 @@
 namespace atr {
 
 // Runs GAS with the given budget. `control` may carry a per-round progress
-// callback, a cancellation flag, and a wall-clock limit.
-// `seed_decomposition`, when non-null, must be the anchor-free
-// decomposition of `g` and replaces the round-1 computation (the api layer
-// passes its cached copy).
+// callback, a cancellation flag, a wall-clock limit, and the
+// use_incremental switch (the post-commit decomposition is then maintained
+// by truss/incremental.h instead of recomputed; the component tree is
+// still rebuilt per round). `seed_decomposition`, when non-null, must be
+// the decomposition of `g` under `initial_anchors` (no anchors when null)
+// and replaces the round-1 computation (the api layer passes its cached
+// copy); edges it reports as kTrussnessNotComputed are treated as removed.
+// `initial_anchors` edges are never candidates and gains are measured on
+// top of them.
 AnchorResult RunGas(const Graph& g, uint32_t budget,
                     const GreedyControl* control = nullptr,
-                    const TrussDecomposition* seed_decomposition = nullptr);
+                    const TrussDecomposition* seed_decomposition = nullptr,
+                    const std::vector<bool>* initial_anchors = nullptr);
 
 }  // namespace atr
 

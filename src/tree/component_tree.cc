@@ -90,10 +90,15 @@ void TrussComponentTree::Build(const Graph& g,
   });
 
   // Per-level edge lists (ascending edge id within a level by construction).
+  // Edges outside the decomposition's subset (trussness
+  // kTrussnessNotComputed, e.g. removed by an incremental session) belong
+  // to no node, like anchors; any triangle touching one was already dropped
+  // above because its kmin is 0.
   std::vector<std::vector<EdgeId>> hull(kmax + 1);
   for (EdgeId e = 0; e < m; ++e) {
     if (is_anchored(e)) continue;
     const uint32_t t = decomp.trussness[e];
+    if (t == kTrussnessNotComputed) continue;
     ATR_DCHECK(t >= 2 && t <= kmax);
     hull[t].push_back(e);
   }
@@ -189,9 +194,11 @@ void TrussComponentTree::CheckInvariants(
     }
   }
   for (EdgeId e = 0; e < m; ++e) {
-    const bool anchor = has_anchors && anchored[e];
-    ATR_CHECK(seen[e] == (anchor ? 0u : 1u));
-    if (anchor) ATR_CHECK(edge_node_index_[e] == kNoTreeNode);
+    const bool nodeless =
+        (has_anchors && anchored[e]) ||
+        decomp.trussness[e] == kTrussnessNotComputed;
+    ATR_CHECK(seen[e] == (nodeless ? 0u : 1u));
+    if (nodeless) ATR_CHECK(edge_node_index_[e] == kNoTreeNode);
   }
 }
 

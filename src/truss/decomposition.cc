@@ -132,6 +132,17 @@ TrussDecomposition ComputeTrussDecompositionOnSubset(
   return Peel(g, anchored, std::move(alive));
 }
 
+std::vector<EdgeId> AliveSubsetOf(const TrussDecomposition& decomp) {
+  const uint32_t m = static_cast<uint32_t>(decomp.trussness.size());
+  std::vector<EdgeId> alive;
+  alive.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (decomp.trussness[e] != kTrussnessNotComputed) alive.push_back(e);
+  }
+  if (alive.size() == m) alive.clear();
+  return alive;
+}
+
 std::vector<uint32_t> HullSizes(const TrussDecomposition& decomp) {
   std::vector<uint32_t> sizes(decomp.max_trussness + 1, 0);
   for (uint32_t t : decomp.trussness) {

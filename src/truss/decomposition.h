@@ -78,6 +78,13 @@ TrussDecomposition ComputeTrussDecompositionOnSubset(
 // max_trussness + 1). Anchors are excluded.
 std::vector<uint32_t> HullSizes(const TrussDecomposition& decomp);
 
+// The edge subset `decomp` was computed over: every edge whose trussness is
+// not kTrussnessNotComputed (anchored edges carry the anchored sentinel and
+// are included). Returns an EMPTY vector when all edges participate, so
+// callers can branch between ComputeTrussDecomposition and the subset
+// variant without materializing the trivial subset.
+std::vector<EdgeId> AliveSubsetOf(const TrussDecomposition& decomp);
+
 }  // namespace atr
 
 #endif  // ATR_TRUSS_DECOMPOSITION_H_

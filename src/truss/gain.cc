@@ -4,6 +4,24 @@
 
 namespace atr {
 
+namespace {
+
+// Re-decomposes under `anchored`, honoring the subgraph `base` was computed
+// over: edges `base` reports as kTrussnessNotComputed were removed from the
+// maintained subgraph and must stay absent, not silently resurrected by a
+// full-graph recompute (the stale-support trap for anchored-graph callers
+// that also delete edges).
+TrussDecomposition RedecomposeLikeBase(const Graph& g,
+                                       const TrussDecomposition& base,
+                                       const std::vector<bool>& anchored) {
+  ATR_CHECK(base.trussness.size() == g.NumEdges());
+  const std::vector<EdgeId> alive = AliveSubsetOf(base);
+  return alive.empty() ? ComputeTrussDecomposition(g, anchored)
+                       : ComputeTrussDecompositionOnSubset(g, anchored, alive);
+}
+
+}  // namespace
+
 uint64_t TrussnessGain(const Graph& g, const TrussDecomposition& base,
                        const std::vector<bool>& base_anchored,
                        const std::vector<EdgeId>& anchor_set) {
@@ -13,9 +31,11 @@ uint64_t TrussnessGain(const Graph& g, const TrussDecomposition& base,
   ATR_CHECK(anchored.size() == m);
   for (EdgeId e : anchor_set) {
     ATR_CHECK(e < m);
+    ATR_CHECK_MSG(base.trussness[e] != kTrussnessNotComputed,
+                  "anchor candidate was removed from the subgraph");
     anchored[e] = true;
   }
-  const TrussDecomposition after = ComputeTrussDecomposition(g, anchored);
+  const TrussDecomposition after = RedecomposeLikeBase(g, base, anchored);
 
   uint64_t gain = 0;
   for (EdgeId e = 0; e < m; ++e) {
@@ -38,8 +58,10 @@ std::vector<EdgeId> BruteForceFollowers(const Graph& g,
       anchored.empty() ? std::vector<bool>(m, false) : anchored;
   ATR_CHECK(x < m);
   ATR_CHECK_MSG(!mask[x], "anchor candidate is already anchored");
+  ATR_CHECK_MSG(base.trussness[x] != kTrussnessNotComputed,
+                "anchor candidate was removed from the subgraph");
   mask[x] = true;
-  const TrussDecomposition after = ComputeTrussDecomposition(g, mask);
+  const TrussDecomposition after = RedecomposeLikeBase(g, base, mask);
 
   std::vector<EdgeId> followers;
   for (EdgeId e = 0; e < m; ++e) {

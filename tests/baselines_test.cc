@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 
 #include "core/akt.h"
 #include "core/edge_deletion.h"
@@ -17,6 +18,7 @@
 #include "tests/test_helpers.h"
 #include "truss/decomposition.h"
 #include "truss/gain.h"
+#include "truss/incremental.h"
 
 namespace atr {
 namespace {
@@ -261,6 +263,109 @@ TEST(EdgeDeletion, IsWeakerThanGasOnClusteredGraphs) {
   const EdgeDeletionResult deletion = RunEdgeDeletionBaseline(g, 3);
   const AnchorResult gas = RunGas(g, 3);
   EXPECT_GE(gas.total_gain, deletion.total_gain);
+}
+
+TEST(EdgeDeletion, MatchesBruteForcePerCandidateRecomputation) {
+  // The baseline now scores candidates with speculative incremental
+  // RemoveEdge + rollback; the selection must equal the historical
+  // brute-force ranking (one subset decomposition per candidate).
+  for (uint64_t seed : {0ull, 1ull, 3ull}) {
+    const Graph g = MakePropertyGraph(seed);
+    const uint32_t m = g.NumEdges();
+    const TrussDecomposition base = ComputeTrussDecomposition(g);
+    uint64_t baseline_total = 0;
+    for (EdgeId e = 0; e < m; ++e) baseline_total += base.trussness[e];
+    std::vector<uint64_t> impact(m, 0);
+    for (EdgeId deleted = 0; deleted < m; ++deleted) {
+      std::vector<EdgeId> subset;
+      for (EdgeId e = 0; e < m; ++e) {
+        if (e != deleted) subset.push_back(e);
+      }
+      const TrussDecomposition without =
+          ComputeTrussDecompositionOnSubset(g, {}, subset);
+      uint64_t remaining = 0;
+      for (EdgeId e : subset) remaining += without.trussness[e];
+      impact[deleted] = baseline_total - remaining - base.trussness[deleted];
+    }
+    std::vector<EdgeId> order(m);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&impact](EdgeId a, EdgeId b) {
+      return impact[a] != impact[b] ? impact[a] > impact[b] : a < b;
+    });
+    const EdgeDeletionResult result = RunEdgeDeletionBaseline(g, 3);
+    EXPECT_EQ(result.anchors,
+              std::vector<EdgeId>(order.begin(), order.begin() + 3))
+        << "seed " << seed;
+  }
+}
+
+TEST(EdgeDeletion, DuplicateCandidateEvaluationIsStable) {
+  // Regression for the duplicate-candidate case: scoring the same edge
+  // twice in one round (as a chunk does after a rollback) must read
+  // identical support state both times, not the remnants of the first
+  // evaluation.
+  const Graph g = MakeFig3Graph();
+  IncrementalTruss engine(g);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const IncrementalTruss::Checkpoint cp = engine.MarkRollbackPoint();
+    const uint64_t first = engine.RemoveEdge(e);
+    engine.RollbackTo(cp);
+    const uint64_t second = engine.RemoveEdge(e);
+    engine.RollbackTo(cp);
+    EXPECT_EQ(first, second) << "edge " << e;
+  }
+}
+
+TEST(Gain, DuplicateAnchorsInOneRoundCountOnce) {
+  // TrussnessGain must treat {e, e} exactly like {e} — a duplicated
+  // candidate in one round neither double-counts its followers nor trips
+  // the anchored-edge bookkeeping.
+  const Graph g = MakeFig3Graph();
+  const TrussDecomposition base = ComputeTrussDecomposition(g);
+  const EdgeId e = Fig3Edge(g, 5, 8);
+  ASSERT_NE(e, kInvalidEdge);
+  EXPECT_EQ(TrussnessGain(g, base, {}, {e, e}),
+            TrussnessGain(g, base, {}, {e}));
+}
+
+TEST(Gain, RespectsRemovedEdgesInsteadOfResurrectingThem) {
+  // Regression for the stale-support read: when `base` was computed over a
+  // subset (removed edges report kTrussnessNotComputed), the gain oracle
+  // must re-decompose over that same subset. The historical full-graph
+  // recompute silently resurrected removed edges and credited their
+  // trussness as gain.
+  const Graph g = MakeFig3Graph();
+  const uint32_t m = g.NumEdges();
+  // Remove one edge of the 5-clique; anchor another clique edge.
+  const EdgeId removed = Fig3Edge(g, 3, 4);
+  const EdgeId anchor = Fig3Edge(g, 3, 5);
+  ASSERT_NE(removed, kInvalidEdge);
+  ASSERT_NE(anchor, kInvalidEdge);
+  std::vector<EdgeId> subset;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (e != removed) subset.push_back(e);
+  }
+  const TrussDecomposition base =
+      ComputeTrussDecompositionOnSubset(g, {}, subset);
+
+  // Independent oracle: rebuild the graph without the removed edge and
+  // compute the gain there.
+  GraphBuilder builder(g.NumVertices());
+  for (EdgeId e = 0; e < m; ++e) {
+    if (e == removed) continue;
+    builder.AddEdge(g.Edge(e).u, g.Edge(e).v);
+  }
+  const Graph rebuilt = builder.Build();
+  const EdgeId rebuilt_anchor =
+      rebuilt.FindEdge(g.Edge(anchor).u, g.Edge(anchor).v);
+  ASSERT_NE(rebuilt_anchor, kInvalidEdge);
+  const TrussDecomposition rebuilt_base = ComputeTrussDecomposition(rebuilt);
+
+  EXPECT_EQ(TrussnessGain(g, base, {}, {anchor}),
+            TrussnessGain(rebuilt, rebuilt_base, {}, {rebuilt_anchor}));
+  EXPECT_EQ(BruteForceFollowers(g, base, {}, anchor).size(),
+            BruteForceFollowers(rebuilt, rebuilt_base, {}, rebuilt_anchor)
+                .size());
 }
 
 }  // namespace
