@@ -1,0 +1,122 @@
+// Speedup of the round-synchronous parallel truss decomposition
+// (truss/parallel_peel.h) over the serial Algorithm 1 peel on the Fig. 9
+// scalability graphs (patents, pokec stand-ins) — the hot path PR 3
+// parallelizes. Every parallel run is asserted byte-identical to the
+// serial result before its time is reported, so the table can never show
+// a "speedup" that changed the answer.
+//
+// Knobs:
+//   ATR_BENCH_PAR_THREADS — comma-separated thread counts (default 1,2,4,8)
+//   ATR_BENCH_PAR_REPS    — repetitions per configuration, best is kept
+//                           (default 3)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "truss/decomposition.h"
+#include "truss/parallel_peel.h"
+#include "util/env.h"
+#include "util/parallel_for.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace atr {
+namespace {
+
+std::vector<int> ThreadList() {
+  const std::string spec = GetEnvString("ATR_BENCH_PAR_THREADS", "1,2,4,8");
+  std::vector<int> threads;
+  int value = 0;
+  bool have_digit = false;
+  for (const char ch : spec + ",") {
+    if (ch >= '0' && ch <= '9') {
+      value = value * 10 + (ch - '0');
+      have_digit = true;
+    } else {
+      if (have_digit && value > 0) threads.push_back(value);
+      value = 0;
+      have_digit = false;
+    }
+  }
+  if (threads.empty()) threads = {1, 2, 4, 8};
+  return threads;
+}
+
+void ExpectIdentical(const TrussDecomposition& serial,
+                     const TrussDecomposition& parallel, const char* dataset,
+                     int threads) {
+  if (serial.trussness != parallel.trussness ||
+      serial.layer != parallel.layer ||
+      serial.max_trussness != parallel.max_trussness) {
+    std::fprintf(stderr,
+                 "bench: parallel decomposition diverged from serial on %s "
+                 "at %d threads\n",
+                 dataset, threads);
+    std::abort();
+  }
+}
+
+template <typename Fn>
+double BestSeconds(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    const double elapsed = timer.ElapsedSeconds();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+void Run() {
+  PrintBenchHeader("bench_parallel_decomposition", "Fig. 9 hot path");
+  const int reps = static_cast<int>(
+      std::max<int64_t>(1, GetEnvInt64("ATR_BENCH_PAR_REPS", 3)));
+  const std::vector<int> threads = ThreadList();
+  std::printf("reps per configuration: %d (best kept)\n", reps);
+
+  for (const char* name : {"patents", "pokec"}) {
+    const DatasetInstance data = MakeDataset(name, BenchScale());
+    const Graph& g = data.graph;
+    std::printf("\ndataset %s (|V|=%u |E|=%u k_max=%u)\n", name,
+                g.NumVertices(), g.NumEdges(), data.k_max);
+
+    TrussDecomposition serial;
+    const double serial_seconds = BestSeconds(
+        reps, [&] { serial = ComputeTrussDecompositionSerial(g); });
+
+    TablePrinter table({"Engine", "Threads", "ms", "speedup"});
+    table.AddRow({"serial", "1",
+                  TablePrinter::FormatDouble(serial_seconds * 1e3, 2),
+                  "1.00"});
+    for (const int t : threads) {
+      ScopedParallelism parallelism(t);
+      TrussDecomposition parallel;
+      const double seconds = BestSeconds(
+          reps, [&] { parallel = ComputeTrussDecompositionParallel(g); });
+      ExpectIdentical(serial, parallel, name, t);
+      table.AddRow({"parallel", std::to_string(t),
+                    TablePrinter::FormatDouble(seconds * 1e3, 2),
+                    TablePrinter::FormatDouble(serial_seconds / seconds, 2)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nexpected shape: speedup grows with threads up to the physical core "
+      "count; the acceptance bar is >= 3x at 8 threads on the largest "
+      "Fig. 9 graph (pokec) on an 8-core host. Single-core containers "
+      "report ~1x by construction — the byte-identical assertion is the "
+      "hardware-independent signal.\n");
+}
+
+}  // namespace
+}  // namespace atr
+
+int main() {
+  atr::Run();
+  return 0;
+}

@@ -72,8 +72,11 @@ struct SolverOptions {
   // elapsed wall clock exceeds this; the result is a valid greedy prefix
   // with stopped_early set.
   double wall_clock_limit_seconds = 0.0;
-  // Worker threads for the parallel inner loops; 0 keeps the process-wide
-  // default (ATR_THREADS env, else hardware concurrency).
+  // Worker threads for the parallel inner loops, including the truss
+  // decomposition itself (the round-synchronous parallel peel is
+  // byte-identical to the serial result at every thread count, so results
+  // never depend on this setting); 0 keeps the process-wide default
+  // (ATR_THREADS env, else hardware concurrency).
   int threads = 0;
   // Greedy family only (base/base+/gas): maintain the truss decomposition
   // across rounds with truss/incremental.h instead of recomputing it after

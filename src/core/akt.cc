@@ -22,20 +22,15 @@ class AnchoredKTrussEngine {
                        uint32_t k)
       : g_(g), decomp_(decomp), k_(k) {
     const uint32_t m = g.NumEdges();
-    base_support_.assign(m, 0);
     in_scope_.assign(m, false);
     for (EdgeId e = 0; e < m; ++e) {
       const uint32_t t = decomp.trussness[e];
       if (t != kAnchoredTrussness && t >= k - 1) in_scope_[e] = true;
       if (decomp.trussness[e] == k - 1) hull_.push_back(e);
     }
-    ForEachTriangle(g, [&](TriangleEdges t) {
-      if (in_scope_[t.e1] && in_scope_[t.e2] && in_scope_[t.e3]) {
-        ++base_support_[t.e1];
-        ++base_support_[t.e2];
-        ++base_support_[t.e3];
-      }
-    });
+    // Scope-restricted supports via the shared parallel helper (engines
+    // constructed inside candidate-evaluation workers run it inline).
+    base_support_ = ComputeSupportParallel(g, in_scope_);
     support_ = base_support_;
     removed_.assign(m, false);
   }

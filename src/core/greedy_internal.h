@@ -3,6 +3,11 @@
 // anchors (the api layer's mutable sessions), recomputing with the alive
 // subset respected, and constructing the incremental engine behind
 // GreedyControl::use_incremental.
+//
+// The greedy cores keep no private support state of their own: every
+// (re)decomposition below goes through truss/decomposition.h, which
+// dispatches to the round-synchronous parallel peel under the solver's
+// ScopedParallelism worker count with byte-identical results.
 
 #ifndef ATR_CORE_GREEDY_INTERNAL_H_
 #define ATR_CORE_GREEDY_INTERNAL_H_

@@ -146,6 +146,10 @@ void FollowerSearch::CollectSeeds(EdgeId x) {
   ForEachTriangleOfEdge(g_, x, [&](VertexId, EdgeId e1, EdgeId e2) {
     for (const EdgeId p : {e1, e2}) {
       if (IsAnchoredEdge(p)) continue;
+      // The CSR enumerates triangles of the full graph, so a partner may
+      // have been removed from the maintained subgraph — its sentinel
+      // trussness must not enter the ≺ comparison.
+      if (!decomp_->IsComputed(p)) continue;
       // Lemma 2 condition (i): t(p) > t(x), or equal trussness with a
       // strictly later deletion layer.
       if (!decomp_->StrictlyPrecedes(x, p)) continue;

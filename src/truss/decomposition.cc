@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "graph/triangles.h"
+#include "truss/parallel_peel.h"
 #include "util/macros.h"
+#include "util/parallel_for.h"
 
 namespace atr {
 namespace {
@@ -113,14 +115,44 @@ TrussDecomposition Peel(const Graph& g, const std::vector<bool>& anchored,
 
 }  // namespace
 
+namespace {
+
+// Parallel is worth it only with workers available AND enough edges to
+// amortize the fan-out (the differential tests drop the cutoff to 1 so
+// dispatch routes small graphs through the parallel engine too).
+bool DispatchParallel(size_t work_edges) {
+  return ParallelWorkerCount() > 1 &&
+         work_edges >= internal::ParallelPeelMinFrontier();
+}
+
+}  // namespace
+
 TrussDecomposition ComputeTrussDecomposition(
+    const Graph& g, const std::vector<bool>& anchored) {
+  if (DispatchParallel(g.NumEdges())) {
+    return ComputeTrussDecompositionParallel(g, anchored);
+  }
+  return ComputeTrussDecompositionSerial(g, anchored);
+}
+
+TrussDecomposition ComputeTrussDecompositionOnSubset(
+    const Graph& g, const std::vector<bool>& anchored,
+    const std::vector<EdgeId>& edge_subset) {
+  if (DispatchParallel(edge_subset.size())) {
+    return ComputeTrussDecompositionOnSubsetParallel(g, anchored,
+                                                     edge_subset);
+  }
+  return ComputeTrussDecompositionOnSubsetSerial(g, anchored, edge_subset);
+}
+
+TrussDecomposition ComputeTrussDecompositionSerial(
     const Graph& g, const std::vector<bool>& anchored) {
   ATR_CHECK(anchored.empty() || anchored.size() == g.NumEdges());
   std::vector<bool> alive(g.NumEdges(), true);
   return Peel(g, anchored, std::move(alive));
 }
 
-TrussDecomposition ComputeTrussDecompositionOnSubset(
+TrussDecomposition ComputeTrussDecompositionOnSubsetSerial(
     const Graph& g, const std::vector<bool>& anchored,
     const std::vector<EdgeId>& edge_subset) {
   ATR_CHECK(anchored.empty() || anchored.size() == g.NumEdges());

@@ -27,7 +27,16 @@ namespace atr {
 // trussness so anchors sort last in the deletion order.
 inline constexpr uint32_t kAnchoredTrussness = 0xffffffffu;
 
-// Sentinel for edges outside the requested edge subset.
+// Sentinel for edges outside the requested edge subset (equivalently:
+// removed from the maintained subgraph). The value 0 can never alias a
+// real trussness: every edge that participates in a decomposition has
+// trussness >= 2 — even a triangle-free edge sits in the trivial 2-truss.
+// Subset consumers must therefore test for this sentinel explicitly
+// (TrussDecomposition::IsComputed) and must NOT treat 0 as "trussness-2
+// edge" or fold it into hull/gain arithmetic: a sentinel read where a real
+// trussness was expected means the caller queried an edge it previously
+// removed. Precedes/StrictlyPrecedes DCHECK against such queries, and
+// HullSizes / TrussnessGain / BruteForceFollowers reject or skip them.
 inline constexpr uint32_t kTrussnessNotComputed = 0;
 
 // Decomposition result; indexed by EdgeId.
@@ -41,10 +50,20 @@ struct TrussDecomposition {
     return trussness[e] == kAnchoredTrussness;
   }
 
+  // Whether `e` participated in this decomposition: false means the edge
+  // was outside the requested subset (or removed) and its trussness reads
+  // the kTrussnessNotComputed sentinel, not a real value.
+  bool IsComputed(EdgeId e) const {
+    return trussness[e] != kTrussnessNotComputed;
+  }
+
   // The paper's total order contribution: e1 "is deleted no later than" e2.
   // e1 ≺ e2  iff  t(e1) < t(e2), or t(e1) == t(e2) and l(e1) <= l(e2).
-  // Anchors compare as +inf trussness (never deleted).
+  // Anchors compare as +inf trussness (never deleted). Both edges must be
+  // in the decomposed subset — comparing a removed edge's sentinel would
+  // silently sort it before genuine trussness-2 edges.
   bool Precedes(EdgeId e1, EdgeId e2) const {
+    ATR_DCHECK(IsComputed(e1) && IsComputed(e2));
     const uint32_t t1 = trussness[e1];
     const uint32_t t2 = trussness[e2];
     if (t1 != t2) return t1 < t2;
@@ -54,6 +73,7 @@ struct TrussDecomposition {
   // Strict variant used for seed condition (i) of Lemma 2:
   // t(e1) < t(e2) or (equal trussness and l(e1) < l(e2)).
   bool StrictlyPrecedes(EdgeId e1, EdgeId e2) const {
+    ATR_DCHECK(IsComputed(e1) && IsComputed(e2));
     const uint32_t t1 = trussness[e1];
     const uint32_t t2 = trussness[e2];
     if (t1 != t2) return t1 < t2;
@@ -63,14 +83,31 @@ struct TrussDecomposition {
 
 // Full-graph decomposition. `anchored` is either empty (no anchors) or a
 // size-m mask; anchored edges are retained throughout peeling.
+//
+// Dispatches between the serial peel and the round-synchronous parallel
+// engine (truss/parallel_peel.h) based on the calling thread's worker
+// count (ScopedParallelism override / ATR_THREADS / hardware concurrency,
+// see util/parallel_for.h) — the two are byte-identical in trussness,
+// layer, and max_trussness at any thread count, so callers never observe
+// the choice.
 TrussDecomposition ComputeTrussDecomposition(
     const Graph& g, const std::vector<bool>& anchored = {});
 
 // Restricted decomposition over the subgraph formed by `edge_subset`
 // (anchored edges that the caller wants present must be listed too).
 // Edges outside the subset get trussness kTrussnessNotComputed and do not
-// participate in triangles. Used by the GAS local subtree rebuild.
+// participate in triangles. Used by the GAS local subtree rebuild. Same
+// serial/parallel dispatch as ComputeTrussDecomposition.
 TrussDecomposition ComputeTrussDecompositionOnSubset(
+    const Graph& g, const std::vector<bool>& anchored,
+    const std::vector<EdgeId>& edge_subset);
+
+// The serial Algorithm 1 peel, always single-threaded. This is the
+// reference engine the parallel peel is differentially tested against;
+// production callers should use the dispatching entry points above.
+TrussDecomposition ComputeTrussDecompositionSerial(
+    const Graph& g, const std::vector<bool>& anchored = {});
+TrussDecomposition ComputeTrussDecompositionOnSubsetSerial(
     const Graph& g, const std::vector<bool>& anchored,
     const std::vector<EdgeId>& edge_subset);
 

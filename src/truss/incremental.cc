@@ -344,6 +344,8 @@ bool IncrementalTruss::ExpandRegion() {
 }
 
 void IncrementalTruss::FullRebuild() {
+  // Dispatches to the round-synchronous parallel peel when the calling
+  // thread has workers available; either engine commits identical state.
   const TrussDecomposition fresh =
       ComputeTrussDecompositionOnSubset(*g_, anchored_, AliveEdges());
   for (EdgeId e = 0; e < g_->NumEdges(); ++e) {

@@ -1,0 +1,210 @@
+#include "truss/parallel_peel.h"
+
+#include <algorithm>
+
+#include "graph/triangles.h"
+#include "util/macros.h"
+#include "util/parallel_for.h"
+
+namespace atr {
+namespace {
+
+size_t g_min_parallel_frontier = 256;
+
+// Round-synchronous peel. `alive` marks edges participating in the
+// decomposition (already excludes out-of-subset edges); anchored edges are
+// alive forever. `full_graph` is true when every edge is alive, letting the
+// support init skip the mask checks. Mirrors the serial Peel in
+// decomposition.cc phase-for-phase and round-for-round — only the
+// within-round execution differs.
+TrussDecomposition PeelParallel(const Graph& g,
+                                const std::vector<bool>& anchored,
+                                std::vector<bool> alive, bool full_graph) {
+  const uint32_t m = g.NumEdges();
+  TrussDecomposition out;
+  out.trussness.assign(m, kTrussnessNotComputed);
+  out.layer.assign(m, 0);
+
+  const bool has_anchors = !anchored.empty();
+  auto is_anchored = [&](EdgeId e) { return has_anchors && anchored[e]; };
+
+  // Stage 1: parallel support initialization, chunked by edge id. Small
+  // graphs stay inline — same per-edge computation, no thread spawn.
+  const std::vector<bool> no_mask;
+  const std::vector<bool>& mask = full_graph ? no_mask : alive;
+  std::vector<uint32_t> support;
+  if (m >= g_min_parallel_frontier) {
+    support = ComputeSupportParallel(g, mask);
+  } else {
+    support.assign(m, 0);
+    for (EdgeId e = 0; e < m; ++e) {
+      if (alive[e]) support[e] = EdgeSupportWithin(g, e, mask);
+    }
+  }
+
+  // Bucket queue keyed by support; entries are validated lazily on pop,
+  // exactly like the serial engine (stale entries are skipped — a support
+  // value only decreases, and each decrease re-files the edge).
+  uint32_t max_support = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (alive[e]) max_support = std::max(max_support, support[e]);
+  }
+  std::vector<std::vector<EdgeId>> buckets(max_support + 1);
+  uint32_t remaining = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (!alive[e]) continue;
+    if (is_anchored(e)) {
+      out.trussness[e] = kAnchoredTrussness;  // never peeled
+      continue;
+    }
+    buckets[support[e]].push_back(e);
+    ++remaining;
+  }
+
+  // `queued` dedupes frontier membership; `in_frontier` marks the round's
+  // batch so the parallel triangle checks see the graph as it stood at
+  // round start (batch semantics of Definition 5).
+  std::vector<bool> queued(m, false);
+  std::vector<bool> in_frontier(m, false);
+  std::vector<EdgeId> frontier;
+  std::vector<EdgeId> next_frontier;
+  std::vector<std::vector<EdgeId>> chunk_decrements;
+
+  uint32_t k = 2;
+  uint32_t peak = 2;
+  while (remaining > 0) {
+    const uint32_t threshold = k - 2;
+    frontier.clear();
+    const uint32_t scan_limit = std::min<uint32_t>(threshold, max_support);
+    for (uint32_t s = 0; s <= scan_limit; ++s) {
+      for (EdgeId e : buckets[s]) {
+        if (alive[e] && !queued[e] && support[e] <= threshold) {
+          queued[e] = true;
+          frontier.push_back(e);
+        }
+      }
+      buckets[s].clear();
+    }
+
+    uint32_t round = 1;
+    while (!frontier.empty()) {
+      peak = std::max(peak, k);
+      for (EdgeId e : frontier) in_frontier[e] = true;
+
+      // Stage 2a: enumerate the dying edges' triangles in parallel. No
+      // shared state is written except out.trussness/out.layer at the
+      // (disjoint) frontier indices and the per-chunk decrement buffers.
+      const int64_t n = static_cast<int64_t>(frontier.size());
+      const bool fan_out = frontier.size() >= g_min_parallel_frontier;
+      const int chunks = fan_out ? ParallelChunkCount(n) : 1;
+      if (static_cast<int>(chunk_decrements.size()) < chunks) {
+        chunk_decrements.resize(chunks);
+      }
+      for (std::vector<EdgeId>& decs : chunk_decrements) decs.clear();
+      auto process = [&](int chunk, int64_t begin, int64_t end) {
+        std::vector<EdgeId>& decs = chunk_decrements[chunk];
+        for (int64_t i = begin; i < end; ++i) {
+          const EdgeId e = frontier[i];
+          out.trussness[e] = k;
+          out.layer[e] = round;
+          ForEachTriangleOfEdgeAdaptive(g, e, [&](VertexId, EdgeId e1,
+                                                  EdgeId e2) {
+            // `alive` still includes the current frontier: a triangle
+            // exists for this round iff it existed at round start.
+            if (!alive[e1] || !alive[e2]) return;
+            // Triangle ownership: the smallest in-frontier edge applies
+            // the decrements, so a triangle losing several edges in one
+            // round decrements each survivor exactly once — the same net
+            // effect the serial peel's first-death-scans rule produces.
+            if ((in_frontier[e1] && e1 < e) ||
+                (in_frontier[e2] && e2 < e)) {
+              return;
+            }
+            for (const EdgeId partner : {e1, e2}) {
+              if (in_frontier[partner]) continue;  // dies this round anyway
+              if (is_anchored(partner)) continue;  // infinite support
+              decs.push_back(partner);
+            }
+          });
+        }
+      };
+      if (fan_out) {
+        ParallelForChunked(n, process);
+      } else {
+        process(0, 0, n);
+      }
+
+      // Stage 2b: fold the decrement buffers on one thread in chunk index
+      // order. Decrements are commutative counts, so the folded supports —
+      // and with them the next frontier's membership — are identical at
+      // any chunk count.
+      next_frontier.clear();
+      for (int c = 0; c < chunks; ++c) {
+        for (const EdgeId partner : chunk_decrements[c]) {
+          ATR_DCHECK(support[partner] > 0);
+          --support[partner];
+          const uint32_t s = support[partner];
+          if (s <= threshold) {
+            if (!queued[partner]) {
+              queued[partner] = true;
+              next_frontier.push_back(partner);
+            }
+          } else {
+            buckets[s].push_back(partner);
+          }
+        }
+      }
+
+      // Retire the batch only after every triangle check has run.
+      for (EdgeId e : frontier) {
+        alive[e] = false;
+        queued[e] = false;
+        in_frontier[e] = false;
+      }
+      remaining -= static_cast<uint32_t>(frontier.size());
+      frontier.swap(next_frontier);
+      ++round;
+    }
+    ++k;
+  }
+  out.max_trussness = peak;
+  return out;
+}
+
+}  // namespace
+
+TrussDecomposition ComputeTrussDecompositionParallel(
+    const Graph& g, const std::vector<bool>& anchored) {
+  ATR_CHECK(anchored.empty() || anchored.size() == g.NumEdges());
+  std::vector<bool> alive(g.NumEdges(), true);
+  return PeelParallel(g, anchored, std::move(alive), /*full_graph=*/true);
+}
+
+TrussDecomposition ComputeTrussDecompositionOnSubsetParallel(
+    const Graph& g, const std::vector<bool>& anchored,
+    const std::vector<EdgeId>& edge_subset) {
+  ATR_CHECK(anchored.empty() || anchored.size() == g.NumEdges());
+  std::vector<bool> alive(g.NumEdges(), false);
+  size_t alive_count = 0;
+  for (EdgeId e : edge_subset) {
+    ATR_CHECK(e < g.NumEdges());
+    if (!alive[e]) ++alive_count;
+    alive[e] = true;
+  }
+  return PeelParallel(g, anchored, std::move(alive),
+                      /*full_graph=*/alive_count == g.NumEdges());
+}
+
+namespace internal {
+
+size_t ParallelPeelMinFrontier() { return g_min_parallel_frontier; }
+
+size_t SetParallelPeelMinFrontierForTest(size_t min_frontier) {
+  const size_t previous = g_min_parallel_frontier;
+  g_min_parallel_frontier = min_frontier;
+  return previous;
+}
+
+}  // namespace internal
+
+}  // namespace atr

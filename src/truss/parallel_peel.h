@@ -1,0 +1,65 @@
+// Round-synchronous parallel truss decomposition.
+//
+// The paper defines deletion layers L^i_k by *batch* peeling rounds
+// (Definition 5): round r of phase k removes every surviving edge whose
+// support dropped to <= k-2 after the removals of rounds 1..r-1. Batch
+// rounds are a data-parallel unit — within one round no removed edge
+// observes another's removal — so the peel parallelizes without perturbing
+// the deletion order `≺` the upward-route machinery depends on:
+//
+//  * support initialization is per-edge common-neighbor counting sharded
+//    across ParallelFor workers (ComputeSupportParallel);
+//  * each round's frontier is processed in parallel chunks that record
+//    triangle-support decrements into per-chunk buffers, folded on one
+//    thread in chunk index order.
+//
+// The result — trussness, layer, max_trussness — is byte-identical to the
+// serial Algorithm 1 peel (ComputeTrussDecompositionSerial) at ANY worker
+// count: decrements are commutative counts, frontier membership depends
+// only on the folded support values, and (k, round) assignment is
+// position-independent within a round. tests/parallel_decomposition_test.cc
+// asserts this across a thread sweep on hundreds of seeded graphs.
+//
+// Prefer the dispatching entry points in truss/decomposition.h
+// (ComputeTrussDecomposition / ...OnSubset), which pick this engine
+// whenever more than one worker is available.
+
+#ifndef ATR_TRUSS_PARALLEL_PEEL_H_
+#define ATR_TRUSS_PARALLEL_PEEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "truss/decomposition.h"
+
+namespace atr {
+
+// Parallel counterpart of ComputeTrussDecompositionSerial. Honors the
+// calling thread's ScopedParallelism / ATR_THREADS worker count; with one
+// worker every stage runs inline (still byte-identical).
+TrussDecomposition ComputeTrussDecompositionParallel(
+    const Graph& g, const std::vector<bool>& anchored = {});
+
+// Parallel counterpart of ComputeTrussDecompositionOnSubsetSerial.
+TrussDecomposition ComputeTrussDecompositionOnSubsetParallel(
+    const Graph& g, const std::vector<bool>& anchored,
+    const std::vector<EdgeId>& edge_subset);
+
+namespace internal {
+
+// Fan-out cutoff shared by the peel's rounds, its support init, and the
+// serial/parallel dispatch in decomposition.cc: work units (frontier
+// edges, graph edges) below it run inline or serially — spawning worker
+// threads for a handful of edges costs more than the work itself.
+size_t ParallelPeelMinFrontier();
+
+// The differential tests lower the cutoff to 1 to force the fan-out path
+// on small graphs. Returns the previous value.
+size_t SetParallelPeelMinFrontierForTest(size_t min_frontier);
+
+}  // namespace internal
+
+}  // namespace atr
+
+#endif  // ATR_TRUSS_PARALLEL_PEEL_H_

@@ -14,9 +14,49 @@ namespace {
 // from the caller's thread), so concurrent engines don't interfere.
 thread_local int t_worker_override = 0;
 
+// Set for the lifetime of a ParallelFor worker body: nested data-parallel
+// calls (e.g. a truss decomposition computed inside a candidate-evaluation
+// worker) collapse to one inline chunk instead of spawning a second level
+// of threads. Results are unchanged — chunked reductions are fold-order
+// deterministic at every chunk count, including one.
+thread_local bool t_inside_worker = false;
+
+int EffectiveWorkers(int64_t n) {
+  if (t_inside_worker) return 1;
+  return static_cast<int>(std::min<int64_t>(ParallelWorkerCount(), n));
+}
+
+int64_t ChunkLength(int64_t n, int workers) {
+  return (n + workers - 1) / workers;
+}
+
+void RunChunks(int64_t n,
+               const std::function<void(int, int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  const int workers = EffectiveWorkers(n);
+  if (workers == 1) {
+    body(0, 0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const int64_t chunk = ChunkLength(n, workers);
+  for (int w = 0; w < workers; ++w) {
+    const int64_t begin = w * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&body, w, begin, end] {
+      t_inside_worker = true;
+      body(w, begin, end);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
 }  // namespace
 
 int ParallelWorkerCount() {
+  if (t_inside_worker) return 1;
   if (t_worker_override > 0) return t_worker_override;
   static const int count = [] {
     int64_t requested = GetEnvInt64("ATR_THREADS", 0);
@@ -36,23 +76,21 @@ ScopedParallelism::~ScopedParallelism() { t_worker_override = previous_; }
 
 void ParallelFor(int64_t n,
                  const std::function<void(int64_t, int64_t)>& body) {
-  if (n <= 0) return;
-  const int workers =
-      static_cast<int>(std::min<int64_t>(ParallelWorkerCount(), n));
-  if (workers == 1) {
-    body(0, n);
-    return;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  const int64_t chunk = (n + workers - 1) / workers;
-  for (int w = 0; w < workers; ++w) {
-    const int64_t begin = w * chunk;
-    const int64_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&body, begin, end] { body(begin, end); });
-  }
-  for (std::thread& t : threads) t.join();
+  RunChunks(n, [&body](int, int64_t begin, int64_t end) { body(begin, end); });
+}
+
+int ParallelChunkCount(int64_t n) {
+  if (n <= 0) return 0;
+  const int workers = EffectiveWorkers(n);
+  if (workers <= 1) return 1;
+  const int64_t chunk = ChunkLength(n, workers);
+  return static_cast<int>((n + chunk - 1) / chunk);
+}
+
+void ParallelForChunked(
+    int64_t n,
+    const std::function<void(int, int64_t, int64_t)>& body) {
+  RunChunks(n, body);
 }
 
 }  // namespace atr

@@ -1,8 +1,8 @@
 // Deterministic data-parallel loop used by the embarrassingly parallel
 // pieces of the harness (Exact subset enumeration, randomized-baseline
-// trials). Work is split into fixed contiguous chunks per worker so results
-// folded per-chunk in index order are reproducible regardless of thread
-// scheduling.
+// trials) and by the round-synchronous parallel truss peel. Work is split
+// into fixed contiguous chunks per worker so results folded per-chunk in
+// index order are reproducible regardless of thread scheduling.
 
 #ifndef ATR_UTIL_PARALLEL_FOR_H_
 #define ATR_UTIL_PARALLEL_FOR_H_
@@ -14,7 +14,9 @@ namespace atr {
 
 // Number of workers ParallelFor uses: an active ScopedParallelism override
 // on the calling thread, else the ATR_THREADS env override, else
-// hardware_concurrency(), at least 1.
+// hardware_concurrency(), at least 1. Inside a ParallelFor worker body this
+// returns 1 — nested data-parallel calls run inline instead of
+// oversubscribing with a second level of thread fan-out.
 int ParallelWorkerCount();
 
 // RAII worker-count override for ParallelFor calls made from the
@@ -39,6 +41,21 @@ class ScopedParallelism {
 // is small or only one worker is available.
 void ParallelFor(int64_t n,
                  const std::function<void(int64_t begin, int64_t end)>& body);
+
+// The number of chunks the chunked variant below will partition [0, n)
+// into if called right now from this thread (0 when n <= 0). Callers size
+// per-chunk accumulation buffers with this before fanning out.
+int ParallelChunkCount(int64_t n);
+
+// Same partition as ParallelFor, additionally passing the chunk's ordinal
+// (0-based, dense, in ascending `begin` order) so the body can write into
+// per-chunk buffers that the caller folds in chunk order afterwards — the
+// deterministic-reduction pattern: the fold sees the same sequence of
+// contributions for a given worker count no matter how the chunks were
+// scheduled. Runs inline as chunk 0 when only one worker is available.
+void ParallelForChunked(
+    int64_t n,
+    const std::function<void(int chunk, int64_t begin, int64_t end)>& body);
 
 }  // namespace atr
 

@@ -212,6 +212,79 @@ TEST_P(DecompositionPropertyTest, SubsetDecompositionMatchesInducedGraph) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DecompositionPropertyTest,
                          ::testing::Range<uint64_t>(0, 24));
 
+TEST(TrussDecomposition, SubsetSentinelNeverAliasesRealTrussness) {
+  // kTrussnessNotComputed is 0, and real trussness of any decomposed edge
+  // is >= 2 (a triangle-free edge still sits in the trivial 2-truss), so a
+  // subset re-decompose must report the sentinel exactly on the removed
+  // edges — never 0 for an in-subset edge, never a real value for an
+  // out-of-subset one.
+  const Graph g = MakeFig3Graph();
+  std::vector<EdgeId> subset;
+  std::vector<bool> in_subset(g.NumEdges(), false);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (e % 3 != 0) {
+      subset.push_back(e);
+      in_subset[e] = true;
+    }
+  }
+  const TrussDecomposition d =
+      ComputeTrussDecompositionOnSubset(g, {}, subset);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (in_subset[e]) {
+      EXPECT_TRUE(d.IsComputed(e)) << "edge " << e;
+      EXPECT_GE(d.trussness[e], 2u) << "edge " << e;
+      EXPECT_GE(d.layer[e], 1u) << "edge " << e;
+    } else {
+      EXPECT_FALSE(d.IsComputed(e)) << "edge " << e;
+      EXPECT_EQ(d.trussness[e], kTrussnessNotComputed) << "edge " << e;
+      EXPECT_EQ(d.layer[e], 0u) << "edge " << e;
+    }
+  }
+  // AliveSubsetOf round-trips the subset it was computed over.
+  EXPECT_EQ(AliveSubsetOf(d), subset);
+}
+
+TEST(TrussDecomposition, TriangleFreeSubsetEdgeReadsTwoNotSentinel) {
+  // Regression for the aliasing trap: an in-subset edge whose triangles
+  // were all cut away by the subset must read trussness 2, not the
+  // sentinel 0 a naive "no support => not computed" implementation yields.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  const Graph g = b.Build();
+  const std::vector<EdgeId> subset = {g.FindEdge(0, 1), g.FindEdge(1, 2)};
+  const TrussDecomposition d =
+      ComputeTrussDecompositionOnSubset(g, {}, subset);
+  for (EdgeId e : subset) {
+    EXPECT_TRUE(d.IsComputed(e));
+    EXPECT_EQ(d.trussness[e], 2u);
+  }
+  EXPECT_FALSE(d.IsComputed(g.FindEdge(0, 2)));
+}
+
+TEST(TrussDecomposition, AnchoredSubsetEdgeKeepsAnchorSentinel) {
+  // Anchored edges inside the subset read kAnchoredTrussness; anchored
+  // edges OUTSIDE the subset are absent and read kTrussnessNotComputed
+  // (being anchored cannot resurrect a removed edge).
+  const Graph g = MakeFig3Graph();
+  std::vector<bool> anchored(g.NumEdges(), false);
+  const EdgeId in_subset_anchor = Fig3Edge(g, 3, 4);
+  const EdgeId out_of_subset_anchor = Fig3Edge(g, 9, 10);
+  anchored[in_subset_anchor] = true;
+  anchored[out_of_subset_anchor] = true;
+  std::vector<EdgeId> subset;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (e != out_of_subset_anchor) subset.push_back(e);
+  }
+  const TrussDecomposition d =
+      ComputeTrussDecompositionOnSubset(g, anchored, subset);
+  EXPECT_EQ(d.trussness[in_subset_anchor], kAnchoredTrussness);
+  EXPECT_TRUE(d.IsComputed(in_subset_anchor));
+  EXPECT_EQ(d.trussness[out_of_subset_anchor], kTrussnessNotComputed);
+  EXPECT_FALSE(d.IsComputed(out_of_subset_anchor));
+}
+
 TEST(HullSizes, CountsPerLevel) {
   const Graph g = MakeFig3Graph();
   const TrussDecomposition d = ComputeTrussDecomposition(g);

@@ -3,6 +3,10 @@
 #ifndef ATR_TESTS_PAPER_FIXTURES_H_
 #define ATR_TESTS_PAPER_FIXTURES_H_
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "graph/graph.h"
 
 namespace atr {
@@ -53,6 +57,77 @@ inline Graph MakeFig3Graph() {
 inline EdgeId Fig3Edge(const Graph& g, int paper_u, int paper_v) {
   return g.FindEdge(static_cast<VertexId>(paper_u - 1),
                     static_cast<VertexId>(paper_v - 1));
+}
+
+// Hand-checked golden (trussness, layer) values for every edge of the
+// Fig. 3 running example, derived by walking Algorithm 1 by hand:
+//  * k=3 peels the 3-hull path one edge per round: (v9,v10) in round 1
+//    (support 1), then the chain unravels toward (v5,v8) (the paper's
+//    Example 2 layer sequence L1..L4).
+//  * k=4 peels both 5-clique-minus-one-edge components in two rounds: the
+//    six edges incident to an endpoint of the missing edge have support 2
+//    (round 1); the opposite triangle — (v1,v2),(v1,v7),(v2,v7) and
+//    (v8,v11),(v8,v12),(v11,v12) — survives to round 2 with support 3
+//    until round 1 strips it to 1.
+//  * k=5 removes the 5-clique {v3,v4,v5,v6,v13} in a single batch: every
+//    clique edge has support exactly 3 = k-2 (the external triangle of
+//    (v5,v6) through v8 died with (v5,v8) at k=3).
+struct Fig3GoldenEdge {
+  int paper_u;
+  int paper_v;
+  uint32_t trussness;
+  uint32_t layer;
+};
+
+inline std::vector<Fig3GoldenEdge> Fig3GoldenTable() {
+  std::vector<Fig3GoldenEdge> golden = {
+      // 3-hull path (Example 2: L1 = {(v9,v10)}, ..., L4 = {(v5,v8)}).
+      {9, 10, 3, 1},
+      {8, 9, 3, 2},
+      {7, 8, 3, 3},
+      {5, 8, 3, 4},
+      // 4-truss component on {v1,v2,v5,v7,v9} (missing edge (v5,v9)).
+      {1, 5, 4, 1},
+      {1, 9, 4, 1},
+      {2, 5, 4, 1},
+      {2, 9, 4, 1},
+      {5, 7, 4, 1},
+      {7, 9, 4, 1},
+      {1, 2, 4, 2},
+      {1, 7, 4, 2},
+      {2, 7, 4, 2},
+      // 4-truss component on {v6,v8,v10,v11,v12} (missing edge (v6,v10)).
+      {6, 8, 4, 1},
+      {6, 11, 4, 1},
+      {6, 12, 4, 1},
+      {8, 10, 4, 1},
+      {10, 11, 4, 1},
+      {10, 12, 4, 1},
+      {8, 11, 4, 2},
+      {8, 12, 4, 2},
+      {11, 12, 4, 2},
+  };
+  // 5-truss clique {v3,v4,v5,v6,v13}: all ten edges leave in k=5 round 1.
+  const int clique[] = {3, 4, 5, 6, 13};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      golden.push_back({clique[i], clique[j], 5, 1});
+    }
+  }
+  return golden;
+}
+
+// The best single anchor of the running example (Example 4): anchoring
+// (v9,v10) keeps the whole 3-hull alive through the k=3 phase, so its
+// remaining three edges are only peeled at k=4 — a gain of 3, which no
+// other candidate matches. All three greedy solvers must select it first.
+inline constexpr int kFig3BestAnchorU = 9;
+inline constexpr int kFig3BestAnchorV = 10;
+inline constexpr uint32_t kFig3BestAnchorGain = 3;
+
+// Followers of that anchor (paper vertex pairs), each rising 3 -> 4.
+inline std::vector<std::pair<int, int>> Fig3BestAnchorFollowers() {
+  return {{5, 8}, {7, 8}, {8, 9}};
 }
 
 }  // namespace atr

@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <set>
+#include <vector>
 
 #include "util/env.h"
 #include "util/parallel_for.h"
@@ -118,6 +122,91 @@ TEST(ParallelFor, HandlesEmptyAndTinyRanges) {
     for (int64_t i = begin; i < end; ++i) sum.fetch_add(i);
   });
   EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ScopedParallelism, NestedOverridesRestoreInDestructionOrder) {
+  const int ambient = ParallelWorkerCount();
+  {
+    ScopedParallelism outer(5);
+    EXPECT_EQ(ParallelWorkerCount(), 5);
+    {
+      ScopedParallelism inner(2);
+      EXPECT_EQ(ParallelWorkerCount(), 2);
+      {
+        ScopedParallelism noop(0);  // non-positive: leaves setting untouched
+        EXPECT_EQ(ParallelWorkerCount(), 2);
+        ScopedParallelism negative(-3);
+        EXPECT_EQ(ParallelWorkerCount(), 2);
+      }
+      EXPECT_EQ(ParallelWorkerCount(), 2);
+    }
+    EXPECT_EQ(ParallelWorkerCount(), 5);
+  }
+  EXPECT_EQ(ParallelWorkerCount(), ambient);
+}
+
+TEST(ParallelFor, RangeSmallerThanWorkerCount) {
+  // n < workers: at most n chunks run, still covering [0, n) exactly once.
+  ScopedParallelism parallelism(16);
+  constexpr int64_t kN = 5;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForChunked, ChunkOrdinalsAreDenseAndBoundariesExact) {
+  // Sweep n around worker-count multiples to hit every chunk-boundary
+  // shape: n % workers == 0, == 1, == workers - 1, and n < workers.
+  for (const int workers : {1, 2, 3, 4, 8}) {
+    ScopedParallelism parallelism(workers);
+    for (const int64_t n : {0, 1, 2, 7, 8, 9, 15, 16, 17, 100}) {
+      const int expected_chunks = ParallelChunkCount(n);
+      std::mutex mu;
+      std::vector<std::array<int64_t, 3>> seen;  // (chunk, begin, end)
+      ParallelForChunked(n, [&](int chunk, int64_t begin, int64_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.push_back({chunk, begin, end});
+      });
+      if (n == 0) {
+        EXPECT_EQ(expected_chunks, 0);
+        EXPECT_TRUE(seen.empty());
+        continue;
+      }
+      ASSERT_EQ(static_cast<int>(seen.size()), expected_chunks)
+          << "workers " << workers << " n " << n;
+      std::sort(seen.begin(), seen.end());
+      int64_t cursor = 0;
+      for (int c = 0; c < expected_chunks; ++c) {
+        EXPECT_EQ(seen[c][0], c) << "dense ordinals";
+        EXPECT_EQ(seen[c][1], cursor) << "contiguous begin";
+        EXPECT_LT(seen[c][1], seen[c][2]) << "non-empty chunk";
+        cursor = seen[c][2];
+      }
+      EXPECT_EQ(cursor, n) << "chunks cover [0, n)";
+    }
+  }
+}
+
+TEST(ParallelFor, NestedCallsRunInlineInsideWorkers) {
+  // A ParallelFor issued from inside a worker body must not fan out a
+  // second level of threads: the nested call sees one worker and runs
+  // inline, so per-chunk state in the outer loop stays single-writer.
+  ScopedParallelism parallelism(4);
+  std::atomic<int> nested_violations{0};
+  std::atomic<int64_t> covered{0};
+  ParallelFor(8, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      if (ParallelWorkerCount() != 1) nested_violations.fetch_add(1);
+      if (ParallelChunkCount(100) != 1) nested_violations.fetch_add(1);
+      ParallelFor(10, [&](int64_t b, int64_t e) {
+        covered.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(nested_violations.load(), 0);
+  EXPECT_EQ(covered.load(), 80);  // 8 outer iterations x 10 inner elements
 }
 
 TEST(TablePrinter, AlignsColumnsAndFormatsNumbers) {
