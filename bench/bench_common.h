@@ -12,6 +12,7 @@
 #define ATR_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,8 +22,101 @@
 #include "core/random_baselines.h"
 #include "eval/datasets.h"
 #include "graph/generators/social_profiles.h"
+#include "util/env.h"
 
 namespace atr {
+
+// --- Machine-readable bench output (--json / ATR_BENCH_JSON) -------------
+//
+// When enabled, benches additionally emit one self-contained JSON object
+// per table row on stdout (one line each, prefixed with nothing), so CI
+// can grep them into perf-trajectory files:
+//
+//   {"experiment":"bench_table3_overview","dataset":"college",...}
+//
+// Enable with the --json CLI flag (pass argc/argv to ParseBenchFlags) or
+// by setting ATR_BENCH_JSON=1 in the environment.
+
+inline bool& BenchJsonEnabledFlag() {
+  static bool enabled = GetEnvInt64("ATR_BENCH_JSON", 0) != 0;
+  return enabled;
+}
+
+inline bool BenchJsonEnabled() { return BenchJsonEnabledFlag(); }
+
+// Call first thing in main(); recognizes --json and ignores everything
+// else (benches keep their no-argument contract).
+inline void ParseBenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") BenchJsonEnabledFlag() = true;
+  }
+}
+
+inline std::string BenchJsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// One bench row as a flat JSON object; Emit() prints it iff JSON output is
+// enabled, so call sites wire rows unconditionally.
+class BenchJsonRow {
+ public:
+  explicit BenchJsonRow(const char* experiment) : experiment_(experiment) {
+    Add("experiment", experiment_);
+  }
+
+  BenchJsonRow& Add(const char* key, const std::string& value) {
+    Field(key) += "\"" + BenchJsonEscape(value) + "\"";
+    return *this;
+  }
+  BenchJsonRow& Add(const char* key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  BenchJsonRow& AddInt(const char* key, int64_t value) {
+    Field(key) += std::to_string(value);
+    return *this;
+  }
+  BenchJsonRow& AddDouble(const char* key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    Field(key) += buf;
+    return *this;
+  }
+
+  // Prints the row (when enabled) and resets to a fresh row carrying the
+  // same experiment id, so one instance can emit a whole table.
+  void Emit() {
+    if (BenchJsonEnabled()) std::printf("%s}\n", body_.c_str());
+    body_ = "{";
+    first_ = true;
+    Add("experiment", experiment_);
+  }
+
+ private:
+  std::string& Field(const char* key) {
+    if (!first_) body_ += ",";
+    first_ = false;
+    body_ += "\"" + BenchJsonEscape(key) + "\":";
+    return body_;
+  }
+
+  std::string experiment_;
+  std::string body_ = "{";
+  bool first_ = true;
+};
 
 inline void PrintBenchHeader(const char* experiment, const char* paper_ref) {
   std::printf("\n=== %s — reproduces %s ===\n", experiment, paper_ref);

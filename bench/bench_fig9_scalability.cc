@@ -62,6 +62,15 @@ void Run() {
              TablePrinter::FormatDouble(
                  static_cast<double>(sample_edges) / g.NumEdges(), 2),
              TablePrinter::FormatSeconds(gas.seconds)});
+        BenchJsonRow("bench_fig9_scalability")
+            .Add("dataset", name)
+            .Add("mode", mode == 0 ? "vary_edges" : "vary_vertices")
+            .AddDouble("rate", fraction)
+            .AddInt("vertices", active_vertices)
+            .AddInt("edges", sample_edges)
+            .AddInt("threads", threads)
+            .AddDouble("gas_seconds", gas.seconds)
+            .Emit();
       }
     }
     table.Print();
@@ -74,7 +83,8 @@ void Run() {
 }  // namespace
 }  // namespace atr
 
-int main() {
+int main(int argc, char** argv) {
+  atr::ParseBenchFlags(argc, argv);
   atr::Run();
   return 0;
 }

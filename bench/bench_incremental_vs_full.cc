@@ -93,6 +93,18 @@ void Run() {
              static_cast<double>(stats.region_edges_total) /
                  std::max<uint64_t>(1, stats.anchors_applied),
              1)});
+    BenchJsonRow("bench_incremental_vs_full")
+        .Add("dataset", name)
+        .AddInt("vertices", g.NumVertices())
+        .AddInt("edges", m)
+        .AddInt("anchors", budget)
+        .AddDouble("full_ms_per_anchor", per_full)
+        .AddDouble("incremental_ms_per_anchor", per_incremental)
+        .AddDouble("speedup", per_full / per_incremental)
+        .AddDouble("region_edges_per_anchor",
+                   static_cast<double>(stats.region_edges_total) /
+                       std::max<uint64_t>(1, stats.anchors_applied))
+        .Emit();
   }
   table.Print();
   std::printf(
@@ -104,7 +116,8 @@ void Run() {
 }  // namespace
 }  // namespace atr
 
-int main() {
+int main(int argc, char** argv) {
+  atr::ParseBenchFlags(argc, argv);
   atr::Run();
   return 0;
 }

@@ -93,6 +93,14 @@ void Run() {
     table.AddRow({"serial", "1",
                   TablePrinter::FormatDouble(serial_seconds * 1e3, 2),
                   "1.00"});
+    BenchJsonRow json("bench_parallel_decomposition");
+    json.Add("dataset", name)
+        .Add("engine", "serial")
+        .AddInt("threads", 1)
+        .AddInt("edges", g.NumEdges())
+        .AddDouble("ms", serial_seconds * 1e3)
+        .AddDouble("speedup", 1.0)
+        .Emit();
     for (const int t : threads) {
       ScopedParallelism parallelism(t);
       TrussDecomposition parallel;
@@ -102,6 +110,13 @@ void Run() {
       table.AddRow({"parallel", std::to_string(t),
                     TablePrinter::FormatDouble(seconds * 1e3, 2),
                     TablePrinter::FormatDouble(serial_seconds / seconds, 2)});
+      json.Add("dataset", name)
+          .Add("engine", "parallel")
+          .AddInt("threads", t)
+          .AddInt("edges", g.NumEdges())
+          .AddDouble("ms", seconds * 1e3)
+          .AddDouble("speedup", serial_seconds / seconds)
+          .Emit();
     }
     table.Print();
   }
@@ -116,7 +131,8 @@ void Run() {
 }  // namespace
 }  // namespace atr
 
-int main() {
+int main(int argc, char** argv) {
+  atr::ParseBenchFlags(argc, argv);
   atr::Run();
   return 0;
 }

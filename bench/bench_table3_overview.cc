@@ -66,6 +66,19 @@ void Run() {
                   TablePrinter::FormatInt(gas.total_gain), base_time,
                   TablePrinter::FormatSeconds(plus.seconds),
                   TablePrinter::FormatSeconds(gas.seconds)});
+    BenchJsonRow("bench_table3_overview")
+        .Add("dataset", spec.name)
+        .AddInt("vertices", g.NumVertices())
+        .AddInt("edges", g.NumEdges())
+        .AddInt("k_max", data.k_max)
+        .AddInt("sup_max", data.sup_max)
+        .AddInt("rand_gain", static_cast<int64_t>(rand.total_gain))
+        .AddInt("sup_gain", static_cast<int64_t>(sup.total_gain))
+        .AddInt("tur_gain", static_cast<int64_t>(tur.total_gain))
+        .AddInt("gas_gain", static_cast<int64_t>(gas.total_gain))
+        .AddDouble("base_plus_seconds", plus.seconds)
+        .AddDouble("gas_seconds", gas.seconds)
+        .Emit();
   }
   table.Print();
   std::printf(
@@ -76,7 +89,8 @@ void Run() {
 }  // namespace
 }  // namespace atr
 
-int main() {
+int main(int argc, char** argv) {
+  atr::ParseBenchFlags(argc, argv);
   atr::Run();
   return 0;
 }

@@ -12,6 +12,14 @@ AtrEngine::AtrEngine(const Graph& graph, TrussDecomposition decomposition)
   context_.PrimeDecomposition(std::move(decomposition));
 }
 
+AtrEngine::AtrEngine(std::shared_ptr<const Graph> graph,
+                     SharedTrussDecomposition decomposition)
+    : shared_graph_(std::move(graph)),
+      graph_(shared_graph_.get()),
+      context_(*shared_graph_) {
+  context_.PrimeDecomposition(std::move(decomposition));
+}
+
 StatusOr<SolveResult> AtrEngine::Run(const std::string& solver,
                                      const SolverOptions& options) {
   StatusOr<std::unique_ptr<Solver>> instance = SolverRegistry::Create(solver);

@@ -27,7 +27,10 @@
 //   StatusOr<SolveResult> more = engine.Run("gas", options);  // residual
 //
 // Engines are single-session objects: not thread-safe, cheap to create
-// (nothing is computed until a solver needs it).
+// (nothing is computed until a solver needs it). For many concurrent
+// callers against a few shared graphs, use AtrService (api/service.h): it
+// serves every job from one immutable snapshot per graph and hands out
+// engines like this one as copy-on-write session checkouts.
 
 #ifndef ATR_API_ENGINE_H_
 #define ATR_API_ENGINE_H_
@@ -55,6 +58,15 @@ class AtrEngine {
   // already own one). `decomposition` primes the cache with a precomputed
   // anchor-free decomposition, so the engine never recomputes it.
   AtrEngine(const Graph& graph, TrussDecomposition decomposition);
+
+  // Snapshot checkout (AtrService::CheckoutSession): the engine keeps the
+  // shared graph alive and primes its cache with the shared immutable
+  // decomposition — nothing is copied until the first mutable-session
+  // commit, which copy-on-writes the decomposition into the session's
+  // incremental engine. Readers of the originating snapshot are never
+  // blocked or affected.
+  AtrEngine(std::shared_ptr<const Graph> graph,
+            SharedTrussDecomposition decomposition);
 
   // Engines hold a self-referencing context; copying/moving is disabled.
   AtrEngine(const AtrEngine&) = delete;
@@ -118,8 +130,9 @@ class AtrEngine {
   // to the context (idempotent).
   IncrementalTruss& EnsureSession();
 
-  Graph owned_graph_;    // empty in borrowing mode
-  const Graph* graph_;   // &owned_graph_, or the borrowed graph
+  Graph owned_graph_;    // empty in borrowing / snapshot mode
+  std::shared_ptr<const Graph> shared_graph_;  // snapshot-checkout keep-alive
+  const Graph* graph_;   // &owned_graph_, the borrowed graph, or the snapshot
   SolverContext context_;
   std::unique_ptr<IncrementalTruss> session_;
 };

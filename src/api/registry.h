@@ -14,6 +14,14 @@
 // Additional solvers can be registered at runtime (Register /
 // RegisterPrefix); names are case-sensitive and registration of a taken
 // name replaces the previous factory.
+//
+// Thread-safety: all four entry points may be called concurrently from any
+// thread. The registry state is mutex-protected and the builtin set is
+// installed through std::call_once on first lookup, so concurrent
+// first-touch Create calls each see the full builtin table
+// (tests/api_test.cc, Registry.ConcurrentCreateAndRegisterAreSafe).
+// Factories themselves run outside the lock and must be thread-safe if
+// shared.
 
 #ifndef ATR_API_REGISTRY_H_
 #define ATR_API_REGISTRY_H_

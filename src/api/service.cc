@@ -1,0 +1,298 @@
+#include "api/service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <utility>
+
+#include "api/registry.h"
+
+namespace atr {
+namespace internal {
+
+// Shared state behind one JobHandle. The submitting thread, the pool
+// worker, and any number of handle copies coordinate through `mu`/`cv`;
+// the cancel flag is the std::atomic the running solver polls between
+// rounds, so Cancel() reaches mid-solve jobs without the mutex.
+struct JobState {
+  JobId id = 0;
+  std::string graph_name;
+  std::string solver_name;
+  SolverOptions options;            // the caller's options, unmodified
+  std::unique_ptr<Solver> solver;   // resolved at Submit time
+  std::function<GraphSnapshot()> snapshot;  // service's build-once entry
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  JobHandle::State state = JobHandle::State::kQueued;   // guarded by mu
+  std::optional<StatusOr<SolveResult>> result;          // guarded by mu
+  SolveProgress progress;                               // guarded by mu
+  std::atomic<bool> cancel{false};
+};
+
+}  // namespace internal
+
+// --- JobHandle ------------------------------------------------------------
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+JobId JobHandle::id() const { return state_ == nullptr ? 0 : state_->id; }
+
+const std::string& JobHandle::graph_name() const {
+  return state_ == nullptr ? kEmptyString : state_->graph_name;
+}
+
+const std::string& JobHandle::solver_name() const {
+  return state_ == nullptr ? kEmptyString : state_->solver_name;
+}
+
+JobHandle::State JobHandle::state() const {
+  if (state_ == nullptr) return State::kQueued;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->state;
+}
+
+bool JobHandle::Done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->result.has_value();
+}
+
+StatusOr<SolveResult> JobHandle::Wait() {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("Wait: empty JobHandle");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+  return *state_->result;
+}
+
+std::optional<StatusOr<SolveResult>> JobHandle::TryGet() const {
+  if (state_ == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (!state_->result.has_value()) return std::nullopt;
+  return *state_->result;
+}
+
+bool JobHandle::Cancel() {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->result.has_value()) return false;
+  state_->cancel.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+SolveProgress JobHandle::Progress() const {
+  if (state_ == nullptr) return SolveProgress{};
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->progress;
+}
+
+// --- AtrService -----------------------------------------------------------
+
+// One catalog slot: the immutable graph plus its decomposition snapshot,
+// built exactly once under `once`. `builds` is written with release order
+// inside the call_once and read with acquire by Info(), so an observed 1
+// implies a fully published `decomposition`.
+struct AtrService::CatalogEntry {
+  std::shared_ptr<const Graph> graph;
+  std::once_flag once;
+  SharedTrussDecomposition decomposition;
+  std::atomic<uint32_t> builds{0};
+  std::atomic<uint64_t> jobs_submitted{0};
+};
+
+AtrService::AtrService(const Options& options)
+    : queue_(TaskQueue::Options{options.workers, options.queue_capacity,
+                                options.threads_per_job}) {}
+
+AtrService::~AtrService() = default;
+
+Status AtrService::AddGraph(const std::string& name, Graph graph) {
+  return AddGraph(name, std::make_shared<const Graph>(std::move(graph)));
+}
+
+Status AtrService::AddGraph(const std::string& name,
+                            std::shared_ptr<const Graph> graph) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("AddGraph: graph must not be null");
+  }
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->graph = std::move(graph);
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool inserted = catalog_.emplace(name, std::move(entry)).second;
+  if (!inserted) {
+    return Status::FailedPrecondition("AddGraph: graph \"" + name +
+                                      "\" is already registered");
+  }
+  return Status::Ok();
+}
+
+Status AtrService::RemoveGraph(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalog_.erase(name) == 0) {
+    return Status::NotFound("RemoveGraph: unknown graph \"" + name + "\"");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> AtrService::GraphNames() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
+  names.reserve(catalog_.size());
+  for (const auto& [name, entry] : catalog_) names.push_back(name);
+  return names;
+}
+
+std::shared_ptr<AtrService::CatalogEntry> AtrService::FindEntry(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = catalog_.find(name);
+  return it == catalog_.end() ? nullptr : it->second;
+}
+
+GraphSnapshot AtrService::SnapshotOf(CatalogEntry& entry) {
+  std::call_once(entry.once, [&entry] {
+    entry.decomposition = ComputeSharedTrussDecomposition(*entry.graph);
+    entry.builds.store(1, std::memory_order_release);
+  });
+  return GraphSnapshot{entry.graph, entry.decomposition};
+}
+
+StatusOr<GraphSnapshot> AtrService::Snapshot(const std::string& name) {
+  std::shared_ptr<CatalogEntry> entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("Snapshot: unknown graph \"" + name + "\"");
+  }
+  return SnapshotOf(*entry);
+}
+
+StatusOr<AtrService::GraphInfo> AtrService::Info(
+    const std::string& name) const {
+  std::shared_ptr<CatalogEntry> entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("Info: unknown graph \"" + name + "\"");
+  }
+  GraphInfo info;
+  info.name = name;
+  info.num_vertices = entry->graph->NumVertices();
+  info.num_edges = entry->graph->NumEdges();
+  info.decomposition_builds = entry->builds.load(std::memory_order_acquire);
+  if (info.decomposition_builds > 0) {
+    info.max_trussness = entry->decomposition->max_trussness;
+  }
+  info.jobs_submitted = entry->jobs_submitted.load(std::memory_order_relaxed);
+  return info;
+}
+
+StatusOr<JobHandle> AtrService::Submit(const std::string& graph_name,
+                                       const std::string& solver_name,
+                                       const SolverOptions& options) {
+  std::shared_ptr<CatalogEntry> entry = FindEntry(graph_name);
+  if (entry == nullptr) {
+    return Status::NotFound("Submit: unknown graph \"" + graph_name + "\"");
+  }
+  StatusOr<std::unique_ptr<Solver>> solver = SolverRegistry::Create(solver_name);
+  if (!solver.ok()) return solver.status();
+
+  auto state = std::make_shared<internal::JobState>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state->id = next_job_id_++;
+  }
+  state->graph_name = graph_name;
+  state->solver_name = solver_name;
+  state->options = options;
+  state->solver = std::move(*solver);
+  state->snapshot = [entry] { return SnapshotOf(*entry); };
+  entry->jobs_submitted.fetch_add(1, std::memory_order_relaxed);
+
+  queue_.Submit([state] { RunJob(state); });
+  return JobHandle(state);
+}
+
+void AtrService::Drain() { queue_.WaitIdle(); }
+
+StatusOr<std::unique_ptr<AtrEngine>> AtrService::CheckoutSession(
+    const std::string& graph_name) {
+  std::shared_ptr<CatalogEntry> entry = FindEntry(graph_name);
+  if (entry == nullptr) {
+    return Status::NotFound("CheckoutSession: unknown graph \"" + graph_name +
+                            "\"");
+  }
+  GraphSnapshot snapshot = SnapshotOf(*entry);
+  return std::make_unique<AtrEngine>(std::move(snapshot.graph),
+                                     std::move(snapshot.decomposition));
+}
+
+void AtrService::RunJob(const std::shared_ptr<internal::JobState>& state) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->cancel.load(std::memory_order_relaxed)) {
+      state->state = JobHandle::State::kCancelled;
+      state->result = StatusOr<SolveResult>(Status::Cancelled(
+          "job " + std::to_string(state->id) + " (" + state->solver_name +
+          " on \"" + state->graph_name + "\") cancelled before it started"));
+      state->snapshot = nullptr;
+      state->solver.reset();
+      state->options = SolverOptions();
+      state->cv.notify_all();
+      return;
+    }
+    state->state = JobHandle::State::kRunning;
+  }
+
+  // Fork the per-job read path: a private context primed with the shared
+  // immutable snapshot. The solver mutates only this context (counters)
+  // and its own stack — the snapshot is never written.
+  const GraphSnapshot snapshot = state->snapshot();
+  SolverContext context(*snapshot.graph);
+  context.PrimeDecomposition(snapshot.decomposition);
+
+  // Rewire the control surface onto the job: the solver polls the job's
+  // cancel flag (JobHandle::Cancel at native round/trial granularity), and
+  // the progress chain records a pollable snapshot, relays a caller-owned
+  // cancel flag, and forwards to the caller's callback.
+  SolverOptions effective = state->options;
+  const std::atomic<bool>* user_cancel = state->options.cancel;
+  const std::function<bool(const SolveProgress&)> user_progress =
+      state->options.progress;
+  effective.cancel = &state->cancel;
+  // A caller-owned flag already raised folds into the job flag now, so the
+  // solver's own cancel polling (every solver checks it, including the
+  // randomized trial loop) observes it from the first check; later raises
+  // are relayed at progress-event granularity below.
+  if (user_cancel != nullptr && user_cancel->load(std::memory_order_relaxed)) {
+    state->cancel.store(true, std::memory_order_relaxed);
+  }
+  effective.progress = [state, user_cancel,
+                        user_progress](const SolveProgress& event) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->progress = event;
+    }
+    if (user_cancel != nullptr &&
+        user_cancel->load(std::memory_order_relaxed)) {
+      state->cancel.store(true, std::memory_order_relaxed);
+    }
+    bool keep_going = true;
+    if (user_progress) keep_going = user_progress(event);
+    return keep_going && !state->cancel.load(std::memory_order_relaxed);
+  };
+
+  StatusOr<SolveResult> result = state->solver->Solve(context, effective);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(result);
+    state->state = JobHandle::State::kDone;
+    // Long-lived JobHandle copies must pin only the result, not the graph
+    // snapshot, the solver, or the caller's closures.
+    state->snapshot = nullptr;
+    state->solver.reset();
+    state->options = SolverOptions();
+    state->cv.notify_all();
+  }
+}
+
+}  // namespace atr

@@ -1,0 +1,221 @@
+// AtrService — thread-safe multi-graph service layer with async solve jobs.
+//
+// The engine facade (api/engine.h) is a single-session object: every
+// concurrent caller needs a private AtrEngine and pays for (or copies) a
+// private truss decomposition. AtrService is the layer above it for the
+// read-mostly serving shape — many queries against a few shared graphs:
+//
+//   AtrService service;                      // worker pool + graph catalog
+//   service.AddGraph("social", std::move(g));
+//
+//   SolverOptions options;
+//   options.budget = 50;
+//   StatusOr<JobHandle> job = service.Submit("social", "gas", options);
+//   ...                                      // do other work, poll progress
+//   StatusOr<SolveResult> result = job->Wait();
+//
+// One decomposition per graph, ever: the first job against a graph builds
+// its anchor-free truss decomposition (std::call_once), every later job —
+// no matter how many run concurrently — forks a cheap per-job SolverContext
+// primed with the same immutable SharedTrussDecomposition snapshot. Results
+// are byte-identical to a serial AtrEngine::Run because solver results
+// never depend on scheduling or thread count (see docs/API.md, threading
+// and determinism).
+//
+// Jobs are asynchronous: Submit enqueues onto a bounded TaskQueue
+// (util/task_queue.h) whose workers split the machine's thread budget with
+// the solvers' inner ParallelFor loops, and returns a JobHandle with
+// Wait() / TryGet() / Cancel() and a polled Progress() snapshot.
+//
+// Mutations never touch served snapshots: CheckoutSession hands out a
+// private AtrEngine primed with the shared snapshot; its first committed
+// mutation copies the decomposition into the session (copy-on-write), so
+// readers are never blocked. RemoveGraph only unlists a graph — jobs and
+// checkouts in flight keep the snapshot alive through their shared_ptr.
+//
+// Thread-safety: every AtrService and JobHandle method may be called from
+// any thread. JobHandle is a cheap shared-state handle; copies observe the
+// same job.
+
+#ifndef ATR_API_SERVICE_H_
+#define ATR_API_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/solver.h"
+#include "graph/graph.h"
+#include "truss/decomposition.h"
+#include "util/status.h"
+#include "util/task_queue.h"
+
+namespace atr {
+
+// Immutable per-graph state served to jobs. Both members are read-only
+// snapshots; holding a GraphSnapshot keeps them alive across RemoveGraph.
+struct GraphSnapshot {
+  std::shared_ptr<const Graph> graph;
+  SharedTrussDecomposition decomposition;
+};
+
+using JobId = uint64_t;
+
+namespace internal {
+struct JobState;
+}  // namespace internal
+
+// Handle to one submitted solve job. Default-constructed handles are empty
+// (valid() is false; accessors return errors / zero values).
+class JobHandle {
+ public:
+  enum class State {
+    kQueued,     // waiting for a pool worker
+    kRunning,    // solver in flight
+    kDone,       // result available (ok, solver error, or stopped_early)
+    kCancelled,  // cancelled before the solver started; result is kCancelled
+  };
+
+  JobHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  JobId id() const;
+  const std::string& graph_name() const;
+  const std::string& solver_name() const;
+
+  State state() const;
+  bool Done() const;  // kDone or kCancelled
+
+  // Blocks until the job finishes and returns its result. A job cancelled
+  // before it started returns kCancelled; a job cancelled mid-solve
+  // returns ok with SolveResult::stopped_early set and a valid prefix.
+  StatusOr<SolveResult> Wait();
+
+  // Non-blocking: the result when the job has finished, nullopt otherwise.
+  std::optional<StatusOr<SolveResult>> TryGet() const;
+
+  // Requests cancellation: a queued job completes as kCancelled without
+  // running; a running job observes the flag at its solver's native
+  // granularity (between rounds / checkpoints / trials) and finishes with
+  // stopped_early. Returns false when the job had already finished.
+  bool Cancel();
+
+  // Latest progress event (zero-valued before the first round completes).
+  SolveProgress Progress() const;
+
+ private:
+  friend class AtrService;
+  explicit JobHandle(std::shared_ptr<internal::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::JobState> state_;
+};
+
+class AtrService {
+ public:
+  struct Options {
+    // Concurrent solve jobs. 0 = min(4, this thread's worker budget).
+    int workers = 0;
+    // Bounded pending-job queue: Submit blocks while this many jobs wait
+    // (backpressure). 0 = 4x workers.
+    size_t queue_capacity = 0;
+    // Inner-loop ParallelFor budget per job; 0 splits the submitting
+    // thread's budget evenly across the workers so job-level concurrency
+    // and data parallelism compose without oversubscription. A job whose
+    // SolverOptions::threads is set still overrides this for its own run.
+    int threads_per_job = 0;
+  };
+
+  AtrService() : AtrService(Options()) {}
+  explicit AtrService(const Options& options);
+
+  // Drains: every submitted job runs (or completes as cancelled) before
+  // the workers join.
+  ~AtrService();
+
+  AtrService(const AtrService&) = delete;
+  AtrService& operator=(const AtrService&) = delete;
+
+  // --- Graph catalog ------------------------------------------------------
+
+  // Registers `graph` under `name`. The decomposition is NOT computed here;
+  // the first job (or Snapshot/CheckoutSession call) builds it, exactly
+  // once. Fails with kFailedPrecondition when the name is taken.
+  Status AddGraph(const std::string& name, Graph graph);
+  Status AddGraph(const std::string& name, std::shared_ptr<const Graph> graph);
+
+  // Unlists `name`. Jobs and checkouts in flight keep the snapshot alive;
+  // new Submits against the name fail with kNotFound.
+  Status RemoveGraph(const std::string& name);
+
+  // Registered names, sorted.
+  std::vector<std::string> GraphNames() const;
+
+  // The shared snapshot for `name`, building the decomposition on first
+  // use. Blocks only while that one build is in flight.
+  StatusOr<GraphSnapshot> Snapshot(const std::string& name);
+
+  struct GraphInfo {
+    std::string name;
+    uint32_t num_vertices = 0;
+    uint32_t num_edges = 0;
+    // Times the service built this graph's decomposition: 0 before first
+    // use, 1 forever after (the acceptance tests assert it never reaches 2).
+    uint32_t decomposition_builds = 0;
+    // max_trussness of the snapshot; 0 while decomposition_builds == 0.
+    uint32_t max_trussness = 0;
+    uint64_t jobs_submitted = 0;
+  };
+  StatusOr<GraphInfo> Info(const std::string& name) const;
+
+  // --- Async jobs ---------------------------------------------------------
+
+  // Enqueues `solver_name` against graph `graph_name`. Unknown graph /
+  // solver names fail synchronously (kNotFound / kInvalidArgument); option
+  // validation errors surface in the JobHandle result. Blocks while the
+  // pending queue is full. `options.cancel` stays under the caller's
+  // control and is additionally observed at progress-event granularity;
+  // `options.progress` is invoked from the worker thread.
+  StatusOr<JobHandle> Submit(const std::string& graph_name,
+                             const std::string& solver_name,
+                             const SolverOptions& options);
+
+  // Blocks until every job submitted so far has finished.
+  void Drain();
+
+  // --- Mutable sessions ---------------------------------------------------
+
+  // A private single-session engine primed with the shared snapshot.
+  // Commits copy-on-write into the session; the served snapshot and other
+  // checkouts are unaffected, and no reader is ever blocked.
+  StatusOr<std::unique_ptr<AtrEngine>> CheckoutSession(
+      const std::string& graph_name);
+
+ private:
+  struct CatalogEntry;
+
+  // The entry for `name`, or nullptr (caller turns that into kNotFound).
+  std::shared_ptr<CatalogEntry> FindEntry(const std::string& name) const;
+
+  // Builds the entry's decomposition exactly once and returns the snapshot.
+  static GraphSnapshot SnapshotOf(CatalogEntry& entry);
+
+  static void RunJob(const std::shared_ptr<internal::JobState>& state);
+
+  mutable std::mutex mu_;  // guards catalog_ and next_job_id_
+  std::map<std::string, std::shared_ptr<CatalogEntry>> catalog_;
+  JobId next_job_id_ = 1;
+
+  // Last member: destroyed (drained + joined) before the catalog, so
+  // running jobs never outlive the state they reference.
+  TaskQueue queue_;
+};
+
+}  // namespace atr
+
+#endif  // ATR_API_SERVICE_H_

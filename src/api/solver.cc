@@ -12,13 +12,20 @@ const TrussDecomposition& SolverContext::Decomposition() {
     return *session_decomposition_;
   }
   if (decomposition_ == nullptr) {
-    decomposition_ = std::make_unique<TrussDecomposition>(
-        ComputeTrussDecomposition(*graph_));
+    decomposition_ = ComputeSharedTrussDecomposition(*graph_);
     ++decomposition_builds_;
   } else {
     ++decomposition_reuses_;
   }
   return *decomposition_;
+}
+
+SharedTrussDecomposition SolverContext::SharedDecomposition() {
+  ATR_CHECK_MSG(session_decomposition_ == nullptr,
+                "SharedDecomposition: a bound mutable session is updated in "
+                "place and cannot be shared as an immutable snapshot");
+  Decomposition();  // build on first use; counts as build or reuse
+  return decomposition_;
 }
 
 void SolverContext::BindSession(const TrussDecomposition* decomposition,
@@ -35,7 +42,12 @@ uint32_t SolverContext::MaxTrussness() { return Decomposition().max_trussness; }
 
 void SolverContext::PrimeDecomposition(TrussDecomposition decomposition) {
   decomposition_ =
-      std::make_unique<TrussDecomposition>(std::move(decomposition));
+      std::make_shared<const TrussDecomposition>(std::move(decomposition));
+}
+
+void SolverContext::PrimeDecomposition(SharedTrussDecomposition decomposition) {
+  ATR_CHECK(decomposition != nullptr);
+  decomposition_ = std::move(decomposition);
 }
 
 namespace {

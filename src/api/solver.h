@@ -131,6 +131,13 @@ struct SolveResult {
 // reuses (instrumented via decomposition_builds / decomposition_reuses,
 // which the cache tests assert on).
 //
+// The cached decomposition is held through a SharedTrussDecomposition
+// handle, so contexts can be forked cheaply from one immutable snapshot:
+// the service layer (api/service.h) computes a graph's decomposition once
+// and primes a fresh per-job context with the shared handle for every
+// concurrent solve. A context itself is single-job state (the counters and
+// lazy build are unsynchronized) — share the snapshot, not the context.
+//
 // The referenced Graph must outlive the context.
 class SolverContext {
  public:
@@ -143,9 +150,16 @@ class SolverContext {
   // max_trussness of Decomposition() (builds it when needed).
   uint32_t MaxTrussness();
 
+  // Shared handle to the cached decomposition (builds it when needed).
+  // Stays valid after the context is destroyed.
+  SharedTrussDecomposition SharedDecomposition();
+
   // Seeds the cache with a precomputed anchor-free decomposition of the
-  // graph; later Decomposition() calls count as reuses, not builds.
+  // graph; later Decomposition() calls count as reuses, not builds. The
+  // shared overload adopts an existing immutable snapshot without copying
+  // — the per-job fork path.
   void PrimeDecomposition(TrussDecomposition decomposition);
+  void PrimeDecomposition(SharedTrussDecomposition decomposition);
 
   // Binds a mutable session (api/engine.h): `decomposition` and `anchors`
   // are the engine's incrementally maintained state and must outlive the
@@ -167,7 +181,7 @@ class SolverContext {
 
  private:
   const Graph* graph_;
-  std::unique_ptr<TrussDecomposition> decomposition_;
+  SharedTrussDecomposition decomposition_;
   const TrussDecomposition* session_decomposition_ = nullptr;
   const std::vector<bool>* session_anchors_ = nullptr;
   uint32_t decomposition_builds_ = 0;

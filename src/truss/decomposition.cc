@@ -135,6 +135,12 @@ TrussDecomposition ComputeTrussDecomposition(
   return ComputeTrussDecompositionSerial(g, anchored);
 }
 
+SharedTrussDecomposition ComputeSharedTrussDecomposition(
+    const Graph& g, const std::vector<bool>& anchored) {
+  return std::make_shared<const TrussDecomposition>(
+      ComputeTrussDecomposition(g, anchored));
+}
+
 TrussDecomposition ComputeTrussDecompositionOnSubset(
     const Graph& g, const std::vector<bool>& anchored,
     const std::vector<EdgeId>& edge_subset) {

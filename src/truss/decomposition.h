@@ -17,6 +17,7 @@
 #define ATR_TRUSS_DECOMPOSITION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -80,6 +81,17 @@ struct TrussDecomposition {
     return layer[e1] < layer[e2];
   }
 };
+
+// Shared-ownership handle to an immutable decomposition snapshot. The
+// service layer (api/service.h) computes one decomposition per graph and
+// hands every concurrent job this handle: jobs read the same bytes, the
+// snapshot outlives graph eviction while any job still holds it, and
+// mutable checkouts copy-on-write from it instead of locking it.
+using SharedTrussDecomposition = std::shared_ptr<const TrussDecomposition>;
+
+// ComputeTrussDecomposition wrapped in a shared snapshot handle.
+SharedTrussDecomposition ComputeSharedTrussDecomposition(
+    const Graph& g, const std::vector<bool>& anchored = {});
 
 // Full-graph decomposition. `anchored` is either empty (no anchors) or a
 // size-m mask; anchored edges are retained throughout peeling.

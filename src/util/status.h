@@ -21,6 +21,7 @@ enum class StatusCode {
   kNotFound = 2,
   kFailedPrecondition = 3,
   kInternal = 4,
+  kCancelled = 5,
 };
 
 // Value-semantic error carrier. An engaged message is only present for
@@ -43,6 +44,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

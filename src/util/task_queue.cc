@@ -1,0 +1,106 @@
+#include "util/task_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/parallel_for.h"
+
+namespace atr {
+namespace {
+
+// Set while a thread is executing pool tasks; Submit CHECKs against it so a
+// task can never block on the queue it is draining.
+thread_local bool t_pool_worker = false;
+
+}  // namespace
+
+TaskQueue::TaskQueue(const Options& options) {
+  // Resolve the defaults on the constructing thread: its worker budget is
+  // the one the pool must share, not whatever the pool threads would see.
+  const int machine = ParallelWorkerCount();
+  const int workers =
+      options.workers > 0 ? options.workers : std::min(4, machine);
+  capacity_ = options.capacity > 0 ? options.capacity
+                                   : static_cast<size_t>(4 * workers);
+  threads_per_task_ = options.threads_per_task > 0
+                          ? options.threads_per_task
+                          : std::max(1, machine / workers);
+  threads_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskQueue::~TaskQueue() { Shutdown(); }
+
+void TaskQueue::Submit(std::function<void()> task) {
+  ATR_CHECK_MSG(!t_pool_worker,
+                "TaskQueue::Submit called from a pool worker; a full queue "
+                "would deadlock the worker against itself");
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return pending_.size() < capacity_ || shutdown_; });
+  ATR_CHECK_MSG(!shutdown_, "TaskQueue::Submit after Shutdown");
+  pending_.push_back(std::move(task));
+  not_empty_.notify_one();
+}
+
+bool TaskQueue::TrySubmit(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_ || pending_.size() >= capacity_) return false;
+  pending_.push_back(std::move(task));
+  not_empty_.notify_one();
+  return true;
+}
+
+void TaskQueue::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return pending_.empty() && running_ == 0; });
+}
+
+void TaskQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+uint64_t TaskQueue::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+void TaskQueue::WorkerLoop() {
+  t_pool_worker = true;
+  // One thread budget for the pool: inner ParallelFor calls issued by tasks
+  // on this worker see threads_per_task_ instead of the machine default.
+  ScopedParallelism inner(threads_per_task_);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock,
+                      [this] { return !pending_.empty() || shutdown_; });
+      if (pending_.empty()) return;  // shutdown with a drained queue
+      task = std::move(pending_.front());
+      pending_.pop_front();
+      ++running_;
+      not_full_.notify_one();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      ++executed_;
+      if (pending_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace atr

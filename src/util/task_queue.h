@@ -1,0 +1,104 @@
+// Bounded FIFO worker pool for job-level concurrency (the AtrService's
+// async solve jobs).
+//
+// A TaskQueue runs submitted closures on a fixed set of worker threads,
+// with a bounded pending queue: Submit blocks the producer once the queue
+// is full (backpressure), TrySubmit fails fast instead. Tasks run in
+// submission order across the pool (FIFO dequeue), though completion order
+// depends on task durations.
+//
+// Composition with data parallelism: each worker thread installs a
+// ScopedParallelism override (util/parallel_for.h) for its lifetime, so
+// the inner-loop ParallelFor fan-out of a task and the job-level
+// concurrency of the pool share one thread budget instead of multiplying.
+// By default the process-wide worker count is split evenly across the pool
+// (at least 1 per worker); a task that sets its own ScopedParallelism
+// (e.g. from SolverOptions::threads) still wins — overrides nest.
+//
+//   TaskQueue pool({.workers = 4});
+//   pool.Submit([] { ... ParallelFor sees 1/4 of the default budget ... });
+//   pool.WaitIdle();   // all submitted tasks have finished
+
+#ifndef ATR_UTIL_TASK_QUEUE_H_
+#define ATR_UTIL_TASK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atr {
+
+class TaskQueue {
+ public:
+  struct Options {
+    // Worker threads. 0 = min(4, the calling thread's ParallelWorkerCount).
+    int workers = 0;
+    // Max tasks waiting to run (excludes the ones already running); Submit
+    // blocks / TrySubmit fails while the queue holds this many. 0 = 4x the
+    // effective worker count.
+    size_t capacity = 0;
+    // ParallelFor worker budget installed on each pool thread. 0 = the
+    // calling thread's ParallelWorkerCount() split evenly across the pool
+    // (at least 1), so inner loops never oversubscribe the machine.
+    int threads_per_task = 0;
+  };
+
+  TaskQueue() : TaskQueue(Options()) {}
+  explicit TaskQueue(const Options& options);
+
+  // Drains the queue and joins the workers (every submitted task runs).
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  // Enqueues `task`; blocks while the pending queue is at capacity. Must
+  // not be called after Shutdown (CHECK) or from a pool worker (a full
+  // queue would deadlock the worker against itself).
+  void Submit(std::function<void()> task);
+
+  // Non-blocking Submit: returns false (task untouched) when the queue is
+  // at capacity or shut down.
+  bool TrySubmit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished and the queue is
+  // empty. Tasks submitted concurrently with WaitIdle may or may not be
+  // waited on.
+  void WaitIdle();
+
+  // Stops accepting work, runs everything already queued, joins the
+  // workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+  size_t capacity() const { return capacity_; }
+  int threads_per_task() const { return threads_per_task_; }
+
+  // Total tasks that finished running (monotonic).
+  uint64_t tasks_executed() const;
+
+ private:
+  void WorkerLoop();
+
+  size_t capacity_ = 0;
+  int threads_per_task_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;   // workers wait for tasks
+  std::condition_variable not_full_;    // producers wait for space
+  std::condition_variable idle_;        // WaitIdle waits for quiescence
+  std::deque<std::function<void()>> pending_;
+  size_t running_ = 0;
+  uint64_t executed_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace atr
+
+#endif  // ATR_UTIL_TASK_QUEUE_H_

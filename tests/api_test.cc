@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <thread>
 
 #include "api/engine.h"
 #include "api/registry.h"
@@ -43,6 +45,42 @@ TEST(Registry, KnownSolversListsTheBuiltins) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
+}
+
+// Registration and lookup are thread-safe: concurrent Create / KnownSolvers
+// / Register calls from many threads (including first-touch builtin
+// registration) must neither race nor miss solvers. Run under TSan in the
+// nightly leg.
+TEST(Registry, ConcurrentCreateAndRegisterAreSafe) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failures] {
+      const std::string mine = "custom-" + std::to_string(t);
+      SolverRegistry::Register(
+          mine, [](const std::string&) -> StatusOr<std::unique_ptr<Solver>> {
+            return SolverRegistry::Create("gas");
+          });
+      for (int i = 0; i < kIters; ++i) {
+        for (const char* name : {"gas", "base+", "akt:5", "rand"}) {
+          if (!SolverRegistry::Create(name).ok()) failures.fetch_add(1);
+        }
+        if (!SolverRegistry::Create(mine).ok()) failures.fetch_add(1);
+        if (SolverRegistry::Create("missing-" + std::to_string(i)).ok()) {
+          failures.fetch_add(1);
+        }
+        const std::vector<std::string> known = SolverRegistry::KnownSolvers();
+        if (std::find(known.begin(), known.end(), "gas") == known.end()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(Registry, UnknownNameIsNotFound) {
@@ -232,6 +270,47 @@ TEST(Api, AktHonorsCancellationBetweenRounds) {
   ASSERT_TRUE(result.ok()) << result.status().message();
   EXPECT_TRUE(result->stopped_early);
   EXPECT_EQ(result->anchor_vertices.size(), 1u);
+}
+
+// SolverOptions::cancel raised mid-run (from the progress callback after
+// the first round/checkpoint): every round-structured solver stops at its
+// next check and returns a valid prefix of its full run.
+TEST(Api, CancelFlagRaisedMidRunLeavesValidPrefixOnEverySolver) {
+  const Graph g = MakeFig3Graph();
+  const TrussDecomposition base = ComputeTrussDecomposition(g);
+  for (const char* solver : {"base", "base+", "gas", "exact", "akt:4"}) {
+    SolverOptions full_options;
+    full_options.budget = 3;
+    if (std::string(solver) == "exact") {
+      // Independent exhaustive runs per checkpoint; keep them tiny.
+      full_options.budget = 2;
+      full_options.budget_checkpoints = {1, 2};
+    }
+    const SolveResult full = MustSolve(solver, g, full_options);
+
+    std::atomic<bool> cancel{false};
+    SolverOptions options = full_options;
+    options.cancel = &cancel;
+    options.progress = [&cancel](const SolveProgress& progress) {
+      if (progress.round == 1) cancel.store(true);
+      return true;  // cancellation flows through the flag, not the return
+    };
+    const SolveResult stopped = MustSolve(solver, g, options);
+    EXPECT_TRUE(stopped.stopped_early) << solver;
+    if (std::string(solver) == "exact") {
+      ASSERT_EQ(stopped.gain_at_checkpoint.size(), 1u) << solver;
+      EXPECT_EQ(stopped.gain_at_checkpoint[0], full.gain_at_checkpoint[0]);
+    } else if (std::string(solver) == "akt:4") {
+      ASSERT_EQ(stopped.anchor_vertices.size(), 1u) << solver;
+      EXPECT_EQ(stopped.anchor_vertices[0], full.anchor_vertices[0]);
+    } else {
+      ASSERT_EQ(stopped.anchor_edges.size(), 1u) << solver;
+      EXPECT_EQ(stopped.anchor_edges[0], full.anchor_edges[0]) << solver;
+      EXPECT_EQ(stopped.total_gain,
+                TrussnessGain(g, base, {}, stopped.anchor_edges))
+          << solver;
+    }
+  }
 }
 
 TEST(Api, RandomBaselineHonorsCancelFlag) {

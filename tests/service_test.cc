@@ -1,0 +1,634 @@
+// Tests for the AtrService multi-graph service layer: snapshot isolation
+// (concurrent mixed jobs byte-identical to serial AtrEngine runs, exactly
+// one decomposition build per graph), the async job lifecycle (Wait /
+// TryGet / Cancel / Progress), cancellation and wall-clock early stop
+// across every registered solver, graph catalog semantics under eviction,
+// and copy-on-write session checkouts. The whole file runs under the
+// nightly TSan leg.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/service.h"
+#include "graph/generators/generators.h"
+#include "tests/test_helpers.h"
+#include "truss/gain.h"
+
+namespace atr {
+namespace {
+
+// One-shot signal for deterministic cross-thread choreography (progress
+// callbacks run on pool workers).
+class Latch {
+ public:
+  void Set() {
+    std::lock_guard<std::mutex> lock(mu_);
+    set_ = true;
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return set_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool set_ = false;
+};
+
+// A clustered graph big enough that every solver (including sup/tur's
+// top-20% pools) has room to work.
+Graph MakeServiceGraph(uint64_t seed = 11) {
+  return HolmeKimGraph(60, 4, 0.7, seed);
+}
+
+struct JobSpec {
+  const char* solver;
+  SolverOptions options;
+};
+
+std::vector<JobSpec> MixedSpecs() {
+  std::vector<JobSpec> specs;
+  {
+    SolverOptions o;
+    o.budget = 3;
+    specs.push_back({"gas", o});
+  }
+  {
+    SolverOptions o;
+    o.budget = 2;
+    specs.push_back({"base+", o});
+  }
+  {
+    SolverOptions o;
+    o.budget = 2;
+    o.use_incremental = true;
+    specs.push_back({"base", o});
+  }
+  {
+    SolverOptions o;
+    o.budget = 4;
+    o.budget_checkpoints = {1, 2, 4};
+    specs.push_back({"gas", o});
+  }
+  {
+    SolverOptions o;
+    o.budget = 1;
+    specs.push_back({"exact", o});
+  }
+  {
+    SolverOptions o;
+    o.budget = 2;
+    o.trials = 40;
+    o.seed = 9;
+    specs.push_back({"rand", o});
+  }
+  {
+    SolverOptions o;
+    o.budget = 2;
+    o.trials = 25;
+    o.seed = 5;
+    specs.push_back({"sup", o});
+  }
+  {
+    SolverOptions o;
+    o.budget = 2;
+    o.trials = 25;
+    o.seed = 6;
+    specs.push_back({"tur", o});
+  }
+  {
+    SolverOptions o;
+    o.budget = 2;
+    specs.push_back({"akt:4", o});
+  }
+  return specs;
+}
+
+void ExpectSameResult(const SolveResult& expected, const SolveResult& actual,
+                      const std::string& label) {
+  EXPECT_EQ(expected.anchor_edges, actual.anchor_edges) << label;
+  EXPECT_EQ(expected.anchor_vertices, actual.anchor_vertices) << label;
+  EXPECT_EQ(expected.total_gain, actual.total_gain) << label;
+  EXPECT_EQ(expected.gain_at_checkpoint, actual.gain_at_checkpoint) << label;
+  ASSERT_EQ(expected.rounds.size(), actual.rounds.size()) << label;
+  for (size_t i = 0; i < expected.rounds.size(); ++i) {
+    EXPECT_EQ(expected.rounds[i].anchor, actual.rounds[i].anchor)
+        << label << " round " << i;
+    EXPECT_EQ(expected.rounds[i].gain, actual.rounds[i].gain)
+        << label << " round " << i;
+  }
+}
+
+// --- Catalog --------------------------------------------------------------
+
+TEST(ServiceCatalog, AddRemoveAndLookupErrors) {
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("a", MakeServiceGraph(1)).ok());
+  ASSERT_TRUE(service.AddGraph("b", MakeServiceGraph(2)).ok());
+
+  EXPECT_EQ(service.AddGraph("a", MakeServiceGraph(3)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.GraphNames(), (std::vector<std::string>{"a", "b"}));
+
+  SolverOptions options;
+  options.budget = 1;
+  EXPECT_EQ(service.Submit("nope", "gas", options).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Submit("a", "no-such-solver", options).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Submit("a", "akt:x", options).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(service.RemoveGraph("a").ok());
+  EXPECT_EQ(service.RemoveGraph("a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.GraphNames(), (std::vector<std::string>{"b"}));
+}
+
+TEST(ServiceCatalog, InfoTracksLazySingleBuild) {
+  AtrService service;
+  const Graph g = MakeServiceGraph();
+  const uint32_t expected_max = ComputeTrussDecomposition(g).max_trussness;
+  ASSERT_TRUE(service.AddGraph("g", g).ok());
+
+  StatusOr<AtrService::GraphInfo> before = service.Info("g");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->decomposition_builds, 0u);  // AddGraph computes nothing
+  EXPECT_EQ(before->num_edges, g.NumEdges());
+
+  SolverOptions options;
+  options.budget = 1;
+  StatusOr<JobHandle> job = service.Submit("g", "gas", options);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(job->Wait().ok());
+
+  StatusOr<AtrService::GraphInfo> after = service.Info("g");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->decomposition_builds, 1u);
+  EXPECT_EQ(after->max_trussness, expected_max);
+  EXPECT_EQ(after->jobs_submitted, 1u);
+}
+
+// --- Snapshot isolation (the acceptance property) -------------------------
+
+TEST(ServiceSnapshotIsolation, ConcurrentMixedJobsMatchSerialEngine) {
+  const Graph g = MakeServiceGraph();
+  const std::vector<JobSpec> specs = MixedSpecs();
+
+  // Serial oracle: one single-session engine, one solve per spec.
+  std::vector<SolveResult> oracle;
+  {
+    AtrEngine engine(MakeServiceGraph());
+    for (const JobSpec& spec : specs) {
+      StatusOr<SolveResult> result = engine.Run(spec.solver, spec.options);
+      ASSERT_TRUE(result.ok()) << spec.solver << ": "
+                               << result.status().message();
+      oracle.push_back(*std::move(result));
+    }
+  }
+
+  AtrService::Options service_options;
+  service_options.workers = 4;
+  service_options.queue_capacity = 128;
+  AtrService service(service_options);
+  ASSERT_TRUE(service.AddGraph("g", g).ok());
+
+  // 6 submitter threads x all specs, all against one graph.
+  constexpr int kSubmitters = 6;
+  std::vector<std::vector<JobHandle>> handles(kSubmitters);
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (const JobSpec& spec : specs) {
+          StatusOr<JobHandle> job =
+              service.Submit("g", spec.solver, spec.options);
+          ASSERT_TRUE(job.ok()) << job.status().message();
+          handles[t].push_back(*job);
+        }
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+  }
+
+  for (int t = 0; t < kSubmitters; ++t) {
+    for (size_t s = 0; s < specs.size(); ++s) {
+      StatusOr<SolveResult> result = handles[t][s].Wait();
+      ASSERT_TRUE(result.ok()) << specs[s].solver << ": "
+                               << result.status().message();
+      EXPECT_FALSE(result->stopped_early) << specs[s].solver;
+      ExpectSameResult(oracle[s], *result,
+                       std::string(specs[s].solver) + " submitter " +
+                           std::to_string(t));
+    }
+  }
+
+  // The whole barrage paid for exactly one decomposition.
+  StatusOr<AtrService::GraphInfo> info = service.Info("g");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->decomposition_builds, 1u);
+  EXPECT_EQ(info->jobs_submitted,
+            static_cast<uint64_t>(kSubmitters * specs.size()));
+}
+
+// The CI concurrency smoke: 8 jobs across 2 graphs, asserted quickly.
+TEST(ServiceSmoke, EightJobsTwoGraphs) {
+  AtrService::Options options;
+  options.workers = 8;
+  AtrService service(options);
+  ASSERT_TRUE(service.AddGraph("one", MakeServiceGraph(21)).ok());
+  ASSERT_TRUE(service.AddGraph("two", MakeServiceGraph(22)).ok());
+
+  std::vector<JobHandle> jobs;
+  for (const char* graph : {"one", "two"}) {
+    for (const char* solver : {"gas", "base+", "tur", "akt:4"}) {
+      SolverOptions o;
+      o.budget = 2;
+      StatusOr<JobHandle> job = service.Submit(graph, solver, o);
+      ASSERT_TRUE(job.ok()) << job.status().message();
+      jobs.push_back(*job);
+    }
+  }
+  for (JobHandle& job : jobs) {
+    StatusOr<SolveResult> result = job.Wait();
+    ASSERT_TRUE(result.ok()) << job.solver_name() << " on "
+                             << job.graph_name() << ": "
+                             << result.status().message();
+    EXPECT_GT(result->total_gain, 0u);
+  }
+  for (const char* graph : {"one", "two"}) {
+    StatusOr<AtrService::GraphInfo> info = service.Info(graph);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->decomposition_builds, 1u) << graph;
+  }
+}
+
+// --- Job lifecycle --------------------------------------------------------
+
+TEST(ServiceJobs, WaitTryGetAndProgress) {
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+
+  Latch running;
+  Latch release;
+  SolverOptions options;
+  options.budget = 2;
+  options.progress = [&](const SolveProgress& progress) {
+    if (progress.round == 1) {
+      running.Set();
+      release.Wait();
+    }
+    return true;
+  };
+  StatusOr<JobHandle> job = service.Submit("g", "gas", options);
+  ASSERT_TRUE(job.ok());
+  EXPECT_GT(job->id(), 0u);
+  EXPECT_EQ(job->graph_name(), "g");
+  EXPECT_EQ(job->solver_name(), "gas");
+
+  running.Wait();  // the job is mid-solve, parked in round 1's callback
+  EXPECT_FALSE(job->Done());
+  EXPECT_EQ(job->TryGet(), std::nullopt);
+  EXPECT_EQ(job->state(), JobHandle::State::kRunning);
+
+  release.Set();
+  StatusOr<SolveResult> result = job->Wait();
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(job->Done());
+  EXPECT_EQ(job->state(), JobHandle::State::kDone);
+  ASSERT_TRUE(job->TryGet().has_value());
+  EXPECT_EQ((*job->TryGet())->total_gain, result->total_gain);
+
+  // The polled snapshot saw the final round.
+  const SolveProgress last = job->Progress();
+  EXPECT_EQ(last.solver, "gas");
+  EXPECT_EQ(last.round, 2u);
+  EXPECT_EQ(last.budget, 2u);
+}
+
+TEST(ServiceJobs, EmptyHandleIsInert) {
+  JobHandle empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.Done());
+  EXPECT_FALSE(empty.Cancel());
+  EXPECT_EQ(empty.TryGet(), std::nullopt);
+  EXPECT_EQ(empty.Wait().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceJobs, CancelledWhileQueuedNeverRuns) {
+  AtrService::Options options;
+  options.workers = 1;  // serialize: the latch job occupies the one worker
+  AtrService service(options);
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+
+  Latch running;
+  Latch release;
+  SolverOptions blocker_options;
+  blocker_options.budget = 1;
+  blocker_options.progress = [&](const SolveProgress&) {
+    running.Set();
+    release.Wait();
+    return true;
+  };
+  StatusOr<JobHandle> blocker = service.Submit("g", "gas", blocker_options);
+  ASSERT_TRUE(blocker.ok());
+  running.Wait();
+
+  SolverOptions queued_options;
+  queued_options.budget = 1;
+  StatusOr<JobHandle> queued = service.Submit("g", "base+", queued_options);
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ(queued->state(), JobHandle::State::kQueued);
+  EXPECT_TRUE(queued->Cancel());
+
+  release.Set();
+  ASSERT_TRUE(blocker->Wait().ok());
+  StatusOr<SolveResult> cancelled = queued->Wait();
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(queued->state(), JobHandle::State::kCancelled);
+  EXPECT_FALSE(queued->Cancel());  // already finished
+}
+
+// --- Cancellation and early stop across every registered solver -----------
+
+// JobHandle::Cancel raised between rounds: every round-structured solver
+// stops after the round in flight and returns a valid prefix of its full
+// run.
+TEST(ServiceCancellation, MidRoundCancelLeavesValidPrefix) {
+  // Small graph: the test also runs the full-budget oracle for BASE (every
+  // candidate brute-forced) and Exact (subset enumeration per checkpoint).
+  const Graph g = HolmeKimGraph(30, 3, 0.7, 11);
+  const TrussDecomposition base = ComputeTrussDecomposition(g);
+
+  struct Case {
+    const char* solver;
+    SolverOptions options;
+  };
+  std::vector<Case> cases;
+  for (const char* solver : {"base", "base+", "gas", "akt:4"}) {
+    SolverOptions o;
+    o.budget = 4;
+    cases.push_back({solver, o});
+  }
+  {
+    SolverOptions o;
+    o.budget = 2;
+    o.budget_checkpoints = {1, 2};
+    cases.push_back({"exact", o});
+  }
+
+  for (Case& c : cases) {
+    AtrService service;
+    ASSERT_TRUE(service.AddGraph("g", g).ok());
+
+    // Full-run oracle for prefix checks.
+    AtrEngine engine(g, base);
+    StatusOr<SolveResult> full = engine.Run(c.solver, c.options);
+    ASSERT_TRUE(full.ok()) << c.solver;
+
+    Latch first_round;
+    Latch cancel_issued;
+    c.options.progress = [&](const SolveProgress& progress) {
+      if (progress.round == 1) {
+        first_round.Set();
+        cancel_issued.Wait();
+      }
+      return true;
+    };
+    StatusOr<JobHandle> job = service.Submit("g", c.solver, c.options);
+    ASSERT_TRUE(job.ok()) << c.solver;
+    first_round.Wait();
+    EXPECT_TRUE(job->Cancel()) << c.solver;
+    cancel_issued.Set();
+
+    StatusOr<SolveResult> result = job->Wait();
+    ASSERT_TRUE(result.ok()) << c.solver << ": "
+                             << result.status().message();
+    EXPECT_TRUE(result->stopped_early) << c.solver;
+
+    if (std::string(c.solver) == "exact") {
+      // Independent checkpoint runs: the completed prefix matches.
+      ASSERT_EQ(result->gain_at_checkpoint.size(), 1u);
+      EXPECT_EQ(result->gain_at_checkpoint[0], full->gain_at_checkpoint[0]);
+    } else if (std::string(c.solver) == "akt:4") {
+      ASSERT_EQ(result->anchor_vertices.size(), 1u);
+      EXPECT_EQ(result->anchor_vertices[0], full->anchor_vertices[0]);
+    } else {
+      // The greedy prefix equals the full run's first round, and its
+      // reported gain is the true trussness gain of that prefix.
+      ASSERT_EQ(result->anchor_edges.size(), 1u);
+      EXPECT_EQ(result->anchor_edges[0], full->anchor_edges[0]) << c.solver;
+      EXPECT_EQ(result->total_gain,
+                TrussnessGain(g, base, {}, result->anchor_edges))
+          << c.solver;
+    }
+  }
+}
+
+// A caller-owned SolverOptions::cancel raised before the job runs stops
+// every solver — including the randomized trial loops, which have no round
+// structure — with a valid stopped_early result.
+TEST(ServiceCancellation, PresetUserCancelFlagStopsEverySolver) {
+  const Graph g = MakeServiceGraph();
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", g).ok());
+
+  std::atomic<bool> cancel{true};
+  for (const char* solver :
+       {"base", "base+", "gas", "exact", "rand", "sup", "tur", "akt:4"}) {
+    SolverOptions options;
+    options.budget = 2;
+    options.trials = 30;
+    options.cancel = &cancel;
+    StatusOr<JobHandle> job = service.Submit("g", solver, options);
+    ASSERT_TRUE(job.ok()) << solver;
+    StatusOr<SolveResult> result = job->Wait();
+    ASSERT_TRUE(result.ok()) << solver << ": " << result.status().message();
+    EXPECT_TRUE(result->stopped_early) << solver;
+    EXPECT_TRUE(result->anchor_edges.empty()) << solver;
+    EXPECT_TRUE(result->anchor_vertices.empty()) << solver;
+    EXPECT_EQ(result->total_gain, 0u) << solver;
+  }
+}
+
+// An effectively-zero wall clock budget early-stops every solver while
+// still returning a structurally valid (possibly empty) prefix.
+TEST(ServiceCancellation, WallClockLimitStopsEverySolver) {
+  const Graph g = MakeServiceGraph();
+  const TrussDecomposition base = ComputeTrussDecomposition(g);
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", g).ok());
+
+  for (const char* solver :
+       {"base", "base+", "gas", "rand", "sup", "tur", "akt:4"}) {
+    SolverOptions options;
+    options.budget = 4;
+    options.trials = 30;
+    options.wall_clock_limit_seconds = 1e-9;
+    StatusOr<JobHandle> job = service.Submit("g", solver, options);
+    ASSERT_TRUE(job.ok()) << solver;
+    StatusOr<SolveResult> result = job->Wait();
+    ASSERT_TRUE(result.ok()) << solver << ": " << result.status().message();
+    EXPECT_TRUE(result->stopped_early) << solver;
+    EXPECT_LE(result->anchor_edges.size(), 4u) << solver;
+    if (!result->anchor_edges.empty()) {
+      EXPECT_EQ(result->total_gain,
+                TrussnessGain(g, base, {}, result->anchor_edges))
+          << solver;
+    }
+  }
+}
+
+// --- Eviction vs. in-flight work ------------------------------------------
+
+TEST(ServiceCatalog, RemoveGraphKeepsInFlightJobsAlive) {
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+
+  Latch running;
+  Latch release;
+  SolverOptions options;
+  options.budget = 2;
+  options.progress = [&](const SolveProgress& progress) {
+    if (progress.round == 1) {
+      running.Set();
+      release.Wait();
+    }
+    return true;
+  };
+  StatusOr<JobHandle> job = service.Submit("g", "gas", options);
+  ASSERT_TRUE(job.ok());
+  running.Wait();
+
+  // Evict mid-solve: the job's shared snapshot keeps graph + decomposition
+  // alive; only new submissions observe the removal.
+  ASSERT_TRUE(service.RemoveGraph("g").ok());
+  SolverOptions retry;
+  retry.budget = 1;
+  EXPECT_EQ(service.Submit("g", "gas", retry).status().code(),
+            StatusCode::kNotFound);
+  release.Set();
+
+  StatusOr<SolveResult> result = job->Wait();
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->anchor_edges.size(), 2u);
+}
+
+// --- Copy-on-write session checkouts --------------------------------------
+
+TEST(ServiceSessions, CheckoutIsCopyOnWriteAndIsolated) {
+  const Graph g = MakeServiceGraph();
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", g).ok());
+
+  StatusOr<std::unique_ptr<AtrEngine>> a = service.CheckoutSession("g");
+  StatusOr<std::unique_ptr<AtrEngine>> b = service.CheckoutSession("g");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Checkouts are primed from the shared snapshot: no private builds.
+  EXPECT_EQ((*a)->decomposition_builds(), 0u);
+  EXPECT_EQ((*b)->decomposition_builds(), 0u);
+
+  // Mutate session a; session b and the served snapshot stay pristine.
+  ASSERT_TRUE((*a)->ApplyAnchor(0).ok());
+  EXPECT_EQ((*a)->Decomposition().trussness[0], kAnchoredTrussness);
+  EXPECT_NE((*b)->Decomposition().trussness[0], kAnchoredTrussness);
+
+  StatusOr<GraphSnapshot> snapshot = service.Snapshot("g");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_NE(snapshot->decomposition->trussness[0], kAnchoredTrussness);
+
+  // Reader jobs submitted while a mutated session exists are untouched.
+  SolverOptions options;
+  options.budget = 2;
+  StatusOr<JobHandle> job = service.Submit("g", "gas", options);
+  ASSERT_TRUE(job.ok());
+  StatusOr<SolveResult> via_service = job->Wait();
+  ASSERT_TRUE(via_service.ok());
+  AtrEngine oracle(MakeServiceGraph());
+  StatusOr<SolveResult> direct = oracle.Run("gas", options);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_service->anchor_edges, direct->anchor_edges);
+
+  // The session solves its own residual problem on the committed state.
+  StatusOr<SolveResult> residual = (*a)->Run("gas", options);
+  ASSERT_TRUE(residual.ok()) << residual.status().message();
+
+  // Still exactly one service-side build, ever.
+  StatusOr<AtrService::GraphInfo> info = service.Info("g");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->decomposition_builds, 1u);
+}
+
+TEST(ServiceSessions, CheckoutSurvivesGraphRemoval) {
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+  StatusOr<std::unique_ptr<AtrEngine>> session = service.CheckoutSession("g");
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(service.RemoveGraph("g").ok());
+  // The checkout owns its snapshot; the catalog entry is gone.
+  ASSERT_TRUE((*session)->ApplyAnchor(0).ok());
+  SolverOptions options;
+  options.budget = 1;
+  EXPECT_TRUE((*session)->Run("gas", options).ok());
+  EXPECT_EQ(service.CheckoutSession("g").status().code(),
+            StatusCode::kNotFound);
+}
+
+// A finished job must pin only its result: once the graph is removed,
+// outstanding JobHandle copies do not keep the snapshot (graph +
+// decomposition) or the solver alive.
+TEST(ServiceJobs, FinishedJobsReleaseTheirSnapshot) {
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+  std::weak_ptr<const Graph> graph_alive;
+  {
+    StatusOr<GraphSnapshot> snapshot = service.Snapshot("g");
+    ASSERT_TRUE(snapshot.ok());
+    graph_alive = snapshot->graph;
+  }
+
+  SolverOptions options;
+  options.budget = 1;
+  StatusOr<JobHandle> job = service.Submit("g", "gas", options);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(job->Wait().ok());
+  service.Drain();  // the worker's stack references are gone too
+
+  ASSERT_TRUE(service.RemoveGraph("g").ok());
+  EXPECT_TRUE(graph_alive.expired());  // despite `job` still being held
+  EXPECT_TRUE(job->Done());
+  ASSERT_TRUE(job->TryGet().has_value());  // the result itself is retained
+  EXPECT_EQ((*job->TryGet())->anchor_edges.size(), 1u);
+}
+
+// Drain really waits for everything submitted so far.
+TEST(ServiceJobs, DrainWaitsForAllJobs) {
+  AtrService::Options options;
+  options.workers = 2;
+  AtrService service(options);
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+
+  std::vector<JobHandle> jobs;
+  for (int i = 0; i < 6; ++i) {
+    SolverOptions o;
+    o.budget = 1 + i % 3;
+    StatusOr<JobHandle> job = service.Submit("g", "gas", o);
+    ASSERT_TRUE(job.ok());
+    jobs.push_back(*job);
+  }
+  service.Drain();
+  for (JobHandle& job : jobs) EXPECT_TRUE(job.Done());
+}
+
+}  // namespace
+}  // namespace atr

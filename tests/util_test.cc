@@ -1,11 +1,12 @@
 // Tests for the utility substrate: PRNG, status, env knobs, parallel loop,
-// table rendering.
+// table rendering, and the bounded task-queue worker pool.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <mutex>
 #include <set>
@@ -16,6 +17,7 @@
 #include "util/prng.h"
 #include "util/status.h"
 #include "util/table_printer.h"
+#include "util/task_queue.h"
 #include "util/timer.h"
 
 namespace atr {
@@ -228,6 +230,108 @@ TEST(WallTimer, IsMonotone) {
   const double second = timer.ElapsedSeconds();
   EXPECT_GE(second, first);
   EXPECT_GE(first, 0.0);
+}
+
+TEST(TaskQueue, RunsEveryTaskAndWaitsIdle) {
+  TaskQueue::Options options;
+  options.workers = 3;
+  TaskQueue queue(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    queue.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  queue.WaitIdle();
+  EXPECT_EQ(ran.load(), 50);
+  EXPECT_EQ(queue.tasks_executed(), 50u);
+  EXPECT_EQ(queue.workers(), 3);
+}
+
+TEST(TaskQueue, SingleWorkerPreservesSubmissionOrder) {
+  TaskQueue::Options options;
+  options.workers = 1;
+  TaskQueue queue(options);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    queue.Submit([&order, i] { order.push_back(i); });  // one worker: no race
+  }
+  queue.WaitIdle();
+  ASSERT_EQ(order.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(TaskQueue, TrySubmitFailsOnlyWhileFull) {
+  TaskQueue::Options options;
+  options.workers = 1;
+  options.capacity = 1;
+  TaskQueue queue(options);
+
+  // Park the worker so the queue backs up deterministically.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool parked = false;
+  bool release = false;
+  queue.Submit([&] {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return parked; });
+  }
+
+  std::atomic<int> ran{0};
+  auto count = [&ran] { ran.fetch_add(1, std::memory_order_relaxed); };
+  EXPECT_TRUE(queue.TrySubmit(count));    // fills the single pending slot
+  EXPECT_FALSE(queue.TrySubmit(count));   // at capacity
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    release = true;
+    gate_cv.notify_all();
+  }
+  queue.WaitIdle();
+  EXPECT_TRUE(queue.TrySubmit(count));    // space again
+  queue.WaitIdle();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(TaskQueue, ComposesWithScopedParallelism) {
+  // A pool built under an 8-thread budget splits it across its workers:
+  // inner ParallelFor calls inside tasks must not multiply into 8 * 4.
+  ScopedParallelism budget(8);
+  TaskQueue::Options options;
+  options.workers = 4;
+  TaskQueue queue(options);
+  EXPECT_EQ(queue.threads_per_task(), 2);
+
+  std::atomic<int> seen{0};
+  queue.Submit([&seen] { seen.store(ParallelWorkerCount()); });
+  queue.WaitIdle();
+  EXPECT_EQ(seen.load(), 2);
+
+  // An explicit per-task override (SolverOptions::threads) still wins.
+  std::atomic<int> overridden{0};
+  queue.Submit([&overridden] {
+    ScopedParallelism mine(5);
+    overridden.store(ParallelWorkerCount());
+  });
+  queue.WaitIdle();
+  EXPECT_EQ(overridden.load(), 5);
+}
+
+TEST(TaskQueue, ShutdownDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    TaskQueue::Options options;
+    options.workers = 2;
+    TaskQueue queue(options);
+    for (int i = 0; i < 10; ++i) {
+      queue.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor shuts down: every submitted task still runs.
+  }
+  EXPECT_EQ(ran.load(), 10);
 }
 
 }  // namespace
