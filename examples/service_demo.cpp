@@ -2,8 +2,9 @@
 //
 // Submits a mixed batch of solver jobs against both graphs, streams their
 // progress events from the worker threads, cancels one long-running job
-// mid-flight, and prints the per-graph service stats — note the single
-// decomposition build per graph no matter how many jobs ran against it.
+// mid-flight, publishes a streaming UpdateGraph delta (a new snapshot
+// version seeded from the old one — no second decomposition build), and
+// prints the per-graph service stats.
 //
 //   ./examples/service_demo [budget]
 
@@ -98,12 +99,48 @@ int main(int argc, char** argv) {
     std::printf("cancelled job: %s\n", cancelled.status().message().c_str());
   }
 
+  // Streaming update: a few edges churn on the social graph. The new
+  // snapshot version is seeded from the old one across the edge-id remap;
+  // in-flight work keeps its pinned version, and the build counter below
+  // stays at 1.
+  {
+    const atr::GraphSnapshot before = service.Snapshot("social").value();
+    atr::GraphDelta delta;
+    delta.remove.push_back(before.graph->Edge(0));
+    delta.remove.push_back(before.graph->Edge(1));
+    for (atr::VertexId u = 0, added = 0;
+         u < before.graph->NumVertices() && added < 2; ++u) {
+      for (atr::VertexId v = u + 1;
+           v < before.graph->NumVertices() && added < 2; ++v) {
+        if (!before.graph->HasEdge(u, v)) {
+          delta.add.push_back(atr::EdgeEndpoints{u, v});
+          ++added;
+        }
+      }
+    }
+    const atr::GraphSnapshot after =
+        service.UpdateGraph("social", delta).value();
+    std::printf(
+        "streamed delta on social: -%zu +%zu edges, version %llu -> %llu\n",
+        delta.remove.size(), delta.add.size(),
+        static_cast<unsigned long long>(before.version),
+        static_cast<unsigned long long>(after.version));
+    atr::SolverOptions options;
+    options.budget = budget;
+    const atr::SolveResult fresh =
+        service.Submit("social", "gas", options).value().Wait().value();
+    std::printf("gas on the new version: gain %llu\n",
+                static_cast<unsigned long long>(fresh.total_gain));
+  }
+
   for (const std::string& name : service.GraphNames()) {
     const atr::AtrService::GraphInfo info = service.Info(name).value();
     std::printf(
-        "graph %-6s  jobs=%llu  decomposition_builds=%u  k_max=%u\n",
+        "graph %-6s  jobs=%llu  decomposition_builds=%u  k_max=%u  "
+        "version=%llu\n",
         info.name.c_str(), static_cast<unsigned long long>(info.jobs_submitted),
-        info.decomposition_builds, info.max_trussness);
+        info.decomposition_builds, info.max_trussness,
+        static_cast<unsigned long long>(info.version));
   }
   return 0;
 }

@@ -79,6 +79,34 @@ StatusOr<uint64_t> AtrEngine::RemoveEdge(EdgeId e) {
   return session.RemoveEdge(e);
 }
 
+StatusOr<uint32_t> AtrEngine::InsertEdge(VertexId u, VertexId v) {
+  // A pristine engine rejects failed probes without creating a session:
+  // the documented fall-back-to-ApplyEdits flow must not pay the
+  // session's decomposition copy or mark the engine as mutated for later
+  // solvers. Without a session the edge is alive unless a primed
+  // decomposition seeds it dead (the pre-declared-arrival flow) — and a
+  // never-built cache cannot seed anything dead, so the probe never
+  // triggers the lazy build either.
+  if (session_ == nullptr) {
+    const EdgeId e = graph_->FindEdge(u, v);
+    if (e == kInvalidEdge) {
+      return Status::NotFound(
+          "InsertEdge: the topology has no {" + std::to_string(u) + ", " +
+          std::to_string(v) +
+          "} slot; materialize a new snapshot with Graph::ApplyEdits");
+    }
+    if (!context_.HasCachedDecomposition() ||
+        context_.Decomposition().IsComputed(e)) {
+      return Status::FailedPrecondition(
+          "InsertEdge: edge {" + std::to_string(u) + ", " +
+          std::to_string(v) + "} is already alive");
+    }
+  }
+  StatusOr<EdgeId> inserted = EnsureSession().InsertEdge(u, v);
+  if (!inserted.ok()) return inserted.status();
+  return session_->decomposition().trussness[*inserted];
+}
+
 AtrEngine::SessionCheckpoint AtrEngine::MarkRollbackPoint() const {
   return session_ == nullptr ? SessionCheckpoint{}
                              : session_->MarkRollbackPoint();

@@ -102,6 +102,15 @@ class AtrEngine {
   // the other edges.
   StatusOr<uint64_t> RemoveEdge(EdgeId e);
 
+  // Streaming arrival: (re-)inserts edge {u, v} into the session graph.
+  // The topology must have a slot for it (kNotFound otherwise — only
+  // edges removed earlier in the session, or pre-declared dead by a
+  // primed subset decomposition, can arrive; new topology needs a new
+  // snapshot via Graph::ApplyEdits / AtrService::UpdateGraph). A failed
+  // probe leaves the engine pristine (HasSessionMutations() stays false).
+  // Returns the trussness the inserted edge settles at.
+  StatusOr<uint32_t> InsertEdge(VertexId u, VertexId v);
+
   // Undo-log cursor over the session mutations. MarkRollbackPoint() before
   // any mutation returns the pristine checkpoint (0); RollbackTo() restores
   // the session state byte-identically.

@@ -3,8 +3,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <utility>
+#include <vector>
 
 #include "api/registry.h"
+#include "truss/incremental.h"
 
 namespace atr {
 namespace internal {
@@ -91,16 +93,37 @@ SolveProgress JobHandle::Progress() const {
 
 // --- AtrService -----------------------------------------------------------
 
-// One catalog slot: the immutable graph plus its decomposition snapshot,
-// built exactly once under `once`. `builds` is written with release order
-// inside the call_once and read with acquire by Info(), so an observed 1
-// implies a fully published `decomposition`.
-struct AtrService::CatalogEntry {
+// One immutable snapshot version of a cataloged graph. The AddGraph
+// version's decomposition is built lazily (exactly once, under `once`);
+// UpdateGraph versions are born built — their decomposition is seeded
+// eagerly and the once flag is consumed at construction. `built` is set
+// with release order after `decomposition` is published and read with
+// acquire by Info(), so an observed true implies a readable snapshot.
+struct AtrService::GraphVersion {
   std::shared_ptr<const Graph> graph;
+  uint64_t version = 1;
   std::once_flag once;
   SharedTrussDecomposition decomposition;
+  std::atomic<bool> built{false};
+};
+
+// One catalog slot: the chain of snapshot versions, of which `current` is
+// the one new submits pin. `version_mu` guards the `current` pointer only
+// (reads are brief); `update_mu` serializes whole UpdateGraph calls so
+// concurrent updates to one graph cannot both seed from the same
+// predecessor and lose one delta.
+struct AtrService::CatalogEntry {
+  mutable std::mutex version_mu;
+  std::shared_ptr<GraphVersion> current;
+  std::mutex update_mu;
   std::atomic<uint32_t> builds{0};
+  std::atomic<uint64_t> delta_updates{0};
   std::atomic<uint64_t> jobs_submitted{0};
+
+  std::shared_ptr<GraphVersion> Current() const {
+    std::lock_guard<std::mutex> lock(version_mu);
+    return current;
+  }
 };
 
 AtrService::AtrService(const Options& options)
@@ -119,7 +142,8 @@ Status AtrService::AddGraph(const std::string& name,
     return Status::InvalidArgument("AddGraph: graph must not be null");
   }
   auto entry = std::make_shared<CatalogEntry>();
-  entry->graph = std::move(graph);
+  entry->current = std::make_shared<GraphVersion>();
+  entry->current->graph = std::move(graph);
   std::lock_guard<std::mutex> lock(mu_);
   const bool inserted = catalog_.emplace(name, std::move(entry)).second;
   if (!inserted) {
@@ -152,12 +176,14 @@ std::shared_ptr<AtrService::CatalogEntry> AtrService::FindEntry(
   return it == catalog_.end() ? nullptr : it->second;
 }
 
-GraphSnapshot AtrService::SnapshotOf(CatalogEntry& entry) {
-  std::call_once(entry.once, [&entry] {
-    entry.decomposition = ComputeSharedTrussDecomposition(*entry.graph);
-    entry.builds.store(1, std::memory_order_release);
+GraphSnapshot AtrService::SnapshotOf(CatalogEntry& entry,
+                                     GraphVersion& version) {
+  std::call_once(version.once, [&entry, &version] {
+    version.decomposition = ComputeSharedTrussDecomposition(*version.graph);
+    entry.builds.fetch_add(1, std::memory_order_relaxed);
+    version.built.store(true, std::memory_order_release);
   });
-  return GraphSnapshot{entry.graph, entry.decomposition};
+  return GraphSnapshot{version.graph, version.decomposition, version.version};
 }
 
 StatusOr<GraphSnapshot> AtrService::Snapshot(const std::string& name) {
@@ -165,7 +191,84 @@ StatusOr<GraphSnapshot> AtrService::Snapshot(const std::string& name) {
   if (entry == nullptr) {
     return Status::NotFound("Snapshot: unknown graph \"" + name + "\"");
   }
-  return SnapshotOf(*entry);
+  std::shared_ptr<GraphVersion> version = entry->Current();
+  return SnapshotOf(*entry, *version);
+}
+
+StatusOr<GraphSnapshot> AtrService::UpdateGraph(const std::string& name,
+                                                const GraphDelta& delta) {
+  std::shared_ptr<CatalogEntry> entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("UpdateGraph: unknown graph \"" + name + "\"");
+  }
+  // One update at a time per graph; Submits/Snapshots stay lock-free with
+  // respect to this (they only graze version_mu to read `current`).
+  std::lock_guard<std::mutex> update_lock(entry->update_mu);
+  std::shared_ptr<GraphVersion> prev = entry->Current();
+
+  // Validate the delta before anything expensive: a rejected delta must
+  // not force the predecessor's lazy decomposition build.
+  StatusOr<GraphEditResult> edited = prev->graph->ApplyEdits(delta);
+  if (!edited.ok()) return edited.status();
+
+  // Seeding needs the predecessor's decomposition; a graph updated before
+  // any job ever touched it pays its single lazy build here.
+  const GraphSnapshot prev_snapshot = SnapshotOf(*entry, *prev);
+
+  auto next_graph = std::make_shared<const Graph>(std::move(edited->graph));
+  const uint32_t next_m = next_graph->NumEdges();
+
+  // Retire the delta-removed edges on the OLD topology first: the carried
+  // (t, l) state must describe exactly the surviving edge set before it
+  // can be re-homed under the new edge ids.
+  const TrussDecomposition* carried_source = prev_snapshot.decomposition.get();
+  std::unique_ptr<IncrementalTruss> retire;
+  std::vector<EdgeId> removed_old_ids;
+  for (EdgeId e = 0; e < prev->graph->NumEdges(); ++e) {
+    if (edited->edge_remap[e] == kInvalidEdge) removed_old_ids.push_back(e);
+  }
+  if (!removed_old_ids.empty()) {
+    retire = std::make_unique<IncrementalTruss>(*prev->graph,
+                                                *prev_snapshot.decomposition);
+    for (const EdgeId e : removed_old_ids) retire->RemoveEdge(e);
+    carried_source = &retire->decomposition();
+  }
+
+  // Re-home the surviving state across the remap. Added edges start
+  // removed (kTrussnessNotComputed) and then stream in one at a time: the
+  // subset decomposition over the survivors is identical in both
+  // topologies (same edges, same vertex ids, and the dead additions take
+  // part in no triangle), so this seed is exact.
+  TrussDecomposition carried;
+  carried.trussness.assign(next_m, kTrussnessNotComputed);
+  carried.layer.assign(next_m, 0);
+  carried.max_trussness = carried_source->max_trussness;
+  for (EdgeId e = 0; e < prev->graph->NumEdges(); ++e) {
+    const EdgeId mapped = edited->edge_remap[e];
+    if (mapped == kInvalidEdge) continue;
+    carried.trussness[mapped] = carried_source->trussness[e];
+    carried.layer[mapped] = carried_source->layer[e];
+  }
+  IncrementalTruss maintained(*next_graph, std::move(carried));
+  for (const EdgeId e : edited->added_edges) maintained.InsertEdge(e);
+
+  auto next = std::make_shared<GraphVersion>();
+  next->graph = next_graph;
+  next->version = prev->version + 1;
+  auto decomposition =
+      std::make_shared<TrussDecomposition>(maintained.decomposition());
+  std::call_once(next->once, [&next, &decomposition] {
+    next->decomposition = std::move(decomposition);
+    next->built.store(true, std::memory_order_release);
+  });
+  {
+    // Count the update inside the publication so a concurrent Info()
+    // never observes delta_updates ahead of the published version.
+    std::lock_guard<std::mutex> lock(entry->version_mu);
+    entry->current = next;
+    entry->delta_updates.fetch_add(1, std::memory_order_relaxed);
+  }
+  return GraphSnapshot{next->graph, next->decomposition, next->version};
 }
 
 StatusOr<AtrService::GraphInfo> AtrService::Info(
@@ -174,14 +277,25 @@ StatusOr<AtrService::GraphInfo> AtrService::Info(
   if (entry == nullptr) {
     return Status::NotFound("Info: unknown graph \"" + name + "\"");
   }
+  std::shared_ptr<GraphVersion> version;
+  uint64_t delta_updates = 0;
+  {
+    // One critical section for both so delta_updates == version - 1 holds
+    // for every reader (updates publish them together).
+    std::lock_guard<std::mutex> lock(entry->version_mu);
+    version = entry->current;
+    delta_updates = entry->delta_updates.load(std::memory_order_relaxed);
+  }
   GraphInfo info;
   info.name = name;
-  info.num_vertices = entry->graph->NumVertices();
-  info.num_edges = entry->graph->NumEdges();
-  info.decomposition_builds = entry->builds.load(std::memory_order_acquire);
-  if (info.decomposition_builds > 0) {
-    info.max_trussness = entry->decomposition->max_trussness;
+  info.num_vertices = version->graph->NumVertices();
+  info.num_edges = version->graph->NumEdges();
+  info.decomposition_builds = entry->builds.load(std::memory_order_relaxed);
+  if (version->built.load(std::memory_order_acquire)) {
+    info.max_trussness = version->decomposition->max_trussness;
   }
+  info.version = version->version;
+  info.delta_updates = delta_updates;
   info.jobs_submitted = entry->jobs_submitted.load(std::memory_order_relaxed);
   return info;
 }
@@ -205,7 +319,11 @@ StatusOr<JobHandle> AtrService::Submit(const std::string& graph_name,
   state->solver_name = solver_name;
   state->options = options;
   state->solver = std::move(*solver);
-  state->snapshot = [entry] { return SnapshotOf(*entry); };
+  // Pin the version that is current NOW: a queued job is unaffected by
+  // UpdateGraph publications between submit and run (the decomposition
+  // build itself stays lazy until the job actually starts).
+  std::shared_ptr<GraphVersion> version = entry->Current();
+  state->snapshot = [entry, version] { return SnapshotOf(*entry, *version); };
   entry->jobs_submitted.fetch_add(1, std::memory_order_relaxed);
 
   queue_.Submit([state] { RunJob(state); });
@@ -221,7 +339,8 @@ StatusOr<std::unique_ptr<AtrEngine>> AtrService::CheckoutSession(
     return Status::NotFound("CheckoutSession: unknown graph \"" + graph_name +
                             "\"");
   }
-  GraphSnapshot snapshot = SnapshotOf(*entry);
+  std::shared_ptr<GraphVersion> version = entry->Current();
+  GraphSnapshot snapshot = SnapshotOf(*entry, *version);
   return std::make_unique<AtrEngine>(std::move(snapshot.graph),
                                      std::move(snapshot.decomposition));
 }

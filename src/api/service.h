@@ -33,6 +33,16 @@
 // readers are never blocked. RemoveGraph only unlists a graph — jobs and
 // checkouts in flight keep the snapshot alive through their shared_ptr.
 //
+// Streaming updates are VERSIONED snapshots: UpdateGraph(name, delta)
+// applies a GraphDelta through Graph::ApplyEdits and publishes a new
+// immutable snapshot whose decomposition is seeded from the previous
+// version via the edge-id remap plus incremental truss maintenance
+// (truss/incremental.h) — never a from-scratch rebuild, so
+// GraphInfo::decomposition_builds does not move on a delta update. Jobs
+// pin the version that was current when they were submitted; Submits after
+// UpdateGraph returns see the new version, and old versions stay alive
+// while any job, checkout, or caller-held GraphSnapshot references them.
+//
 // Thread-safety: every AtrService and JobHandle method may be called from
 // any thread. JobHandle is a cheap shared-state handle; copies observe the
 // same job.
@@ -57,11 +67,14 @@
 
 namespace atr {
 
-// Immutable per-graph state served to jobs. Both members are read-only
-// snapshots; holding a GraphSnapshot keeps them alive across RemoveGraph.
+// Immutable per-graph state served to jobs. Both pointers are read-only
+// snapshots; holding a GraphSnapshot keeps them alive across RemoveGraph
+// and across any number of later UpdateGraph versions.
 struct GraphSnapshot {
   std::shared_ptr<const Graph> graph;
   SharedTrussDecomposition decomposition;
+  // 1 for the AddGraph snapshot, bumped by every successful UpdateGraph.
+  uint64_t version = 1;
 };
 
 using JobId = uint64_t;
@@ -156,19 +169,38 @@ class AtrService {
   // Registered names, sorted.
   std::vector<std::string> GraphNames() const;
 
-  // The shared snapshot for `name`, building the decomposition on first
-  // use. Blocks only while that one build is in flight.
+  // The current shared snapshot for `name`, building the decomposition on
+  // first use. Blocks only while that one build is in flight.
   StatusOr<GraphSnapshot> Snapshot(const std::string& name);
+
+  // Publishes the next version of `name`: `delta` is applied through
+  // Graph::ApplyEdits, and the new snapshot's decomposition is seeded from
+  // the previous version across the edge-id remap, brought up to date with
+  // incremental RemoveEdge/InsertEdge maintenance — decomposition_builds
+  // does NOT increment (a never-used graph pays its one lazy build first).
+  // In-flight jobs, checkouts, and held snapshots keep the version they
+  // pinned; Submits after this returns see the new one. Delta validation
+  // errors (kInvalidArgument, see Graph::ApplyEdits) leave the current
+  // version untouched. Concurrent updates to one graph serialize.
+  StatusOr<GraphSnapshot> UpdateGraph(const std::string& name,
+                                      const GraphDelta& delta);
 
   struct GraphInfo {
     std::string name;
+    // Counts of the CURRENT version's topology.
     uint32_t num_vertices = 0;
     uint32_t num_edges = 0;
-    // Times the service built this graph's decomposition: 0 before first
-    // use, 1 forever after (the acceptance tests assert it never reaches 2).
+    // Times the service built a decomposition for this graph from scratch:
+    // 0 before first use, 1 forever after — delta updates seed the next
+    // version incrementally and never add to it (the acceptance tests
+    // assert it never reaches 2).
     uint32_t decomposition_builds = 0;
-    // max_trussness of the snapshot; 0 while decomposition_builds == 0.
+    // max_trussness of the current snapshot; 0 while it is unbuilt.
     uint32_t max_trussness = 0;
+    // Current snapshot version (1 = the AddGraph snapshot) and the number
+    // of UpdateGraph publications (== version - 1).
+    uint64_t version = 1;
+    uint64_t delta_updates = 0;
     uint64_t jobs_submitted = 0;
   };
   StatusOr<GraphInfo> Info(const std::string& name) const;
@@ -197,13 +229,15 @@ class AtrService {
       const std::string& graph_name);
 
  private:
+  struct GraphVersion;
   struct CatalogEntry;
 
   // The entry for `name`, or nullptr (caller turns that into kNotFound).
   std::shared_ptr<CatalogEntry> FindEntry(const std::string& name) const;
 
-  // Builds the entry's decomposition exactly once and returns the snapshot.
-  static GraphSnapshot SnapshotOf(CatalogEntry& entry);
+  // Builds the version's decomposition exactly once (counted on the entry)
+  // and returns its snapshot.
+  static GraphSnapshot SnapshotOf(CatalogEntry& entry, GraphVersion& version);
 
   static void RunJob(const std::shared_ptr<internal::JobState>& state);
 

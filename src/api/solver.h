@@ -154,6 +154,10 @@ class SolverContext {
   // Stays valid after the context is destroyed.
   SharedTrussDecomposition SharedDecomposition();
 
+  // Whether the cache already holds a decomposition (primed or built) —
+  // probes that must not trigger the lazy build branch on this first.
+  bool HasCachedDecomposition() const { return decomposition_ != nullptr; }
+
   // Seeds the cache with a precomputed anchor-free decomposition of the
   // graph; later Decomposition() calls count as reuses, not builds. The
   // shared overload adopts an existing immutable snapshot without copying

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -9,7 +11,10 @@ namespace atr {
 namespace {
 
 // Parses a base-10 unsigned integer starting at `*pos`, advancing it.
-// Returns false when no digits are present or on overflow past 2^63.
+// Returns false when no digits are present or when another digit could
+// overflow uint64_t (the guard is conservative: values in the top decade,
+// above (UINT64_MAX - 9) / 10 * 10 + 9 = 18446744073709551609, are
+// rejected even when they fit).
 bool ParseUint(const char* line, size_t& pos, uint64_t& value) {
   while (std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
   if (!std::isdigit(static_cast<unsigned char>(line[pos]))) return false;
@@ -25,37 +30,55 @@ bool ParseUint(const char* line, size_t& pos, uint64_t& value) {
 }  // namespace
 
 StatusOr<Graph> LoadSnapEdgeList(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
     return Status::NotFound("cannot open edge list: " + path);
   }
 
   GraphBuilder builder;
   std::unordered_map<uint64_t, VertexId> remap;
-  auto dense_id = [&remap](uint64_t raw) {
-    auto [it, inserted] =
-        remap.emplace(raw, static_cast<VertexId>(remap.size()));
-    (void)inserted;
-    return it->second;
-  };
 
-  char line[512];
+  // std::getline grows the buffer to the true line length: a fixed fgets
+  // buffer would split any line that outgrows it, silently re-parsing the
+  // tail of a long comment (or the second endpoint of a whitespace-padded
+  // edge line) as bogus edges. It also counts embedded NUL bytes, so a
+  // NUL never swallows a newline and merges two physical lines.
+  std::string line;
   size_t line_number = 0;
-  while (std::fgets(line, sizeof(line), file) != nullptr) {
+  while (std::getline(file, line)) {
     ++line_number;
+    // Parsing via c_str() stops at an embedded NUL — the tail of such a
+    // (malformed, binary) line is ignored, never re-parsed as new edges.
+    const char* text = line.c_str();
     size_t pos = 0;
-    while (std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
-    if (line[pos] == '\0' || line[pos] == '#' || line[pos] == '%') continue;
-    uint64_t a = 0;
-    uint64_t b = 0;
-    if (!ParseUint(line, pos, a) || !ParseUint(line, pos, b)) {
-      std::fclose(file);
+    while (std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (text[pos] == '\0' || text[pos] == '#' || text[pos] == '%') continue;
+    uint64_t raw[2] = {0, 0};
+    if (!ParseUint(text, pos, raw[0]) || !ParseUint(text, pos, raw[1])) {
       return Status::InvalidArgument("malformed edge at " + path + ":" +
                                      std::to_string(line_number));
     }
-    builder.AddEdge(dense_id(a), dense_id(b));
+    VertexId ids[2];
+    for (int i = 0; i < 2; ++i) {
+      auto it = remap.find(raw[i]);
+      if (it == remap.end()) {
+        // The dense id is remap.size(); past the sentinel it would truncate
+        // and alias an earlier vertex (and wrap GraphBuilder's count).
+        if (remap.size() >= kInvalidVertex) {
+          return Status::InvalidArgument(
+              "vertex-id space overflow (>= 2^32 - 1 distinct ids) at " +
+              path + ":" + std::to_string(line_number));
+        }
+        it = remap.emplace(raw[i], static_cast<VertexId>(remap.size())).first;
+      }
+      ids[i] = it->second;
+    }
+    builder.AddEdge(ids[0], ids[1]);
   }
-  std::fclose(file);
+  // getline fails for a mid-file read error exactly as it does for EOF;
+  // without this check a failing disk would yield a silently truncated
+  // graph with an Ok status.
+  if (file.bad()) return Status::Internal("read error: " + path);
   return builder.Build();
 }
 
@@ -70,9 +93,13 @@ Status SaveEdgeList(const Graph& g, const std::string& path) {
     const EdgeEndpoints ends = g.Edge(e);
     std::fprintf(file, "%u %u\n", ends.u, ends.v);
   }
+  // fclose flushes the stdio buffer, so a write error (e.g. a full disk)
+  // can first surface there — checking ferror alone misses it.
   const bool write_failed = std::ferror(file) != 0;
-  std::fclose(file);
-  if (write_failed) return Status::Internal("write error: " + path);
+  const bool close_failed = std::fclose(file) != 0;
+  if (write_failed || close_failed) {
+    return Status::Internal("write error: " + path);
+  }
   return Status::Ok();
 }
 

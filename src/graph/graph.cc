@@ -3,6 +3,16 @@
 #include <algorithm>
 
 namespace atr {
+namespace {
+
+// The (u, v) lexicographic edge order every sorted edge list in this file
+// shares: FromSortedEdges' precondition, the Build() sort, and the
+// ApplyEdits merge must all agree on it.
+bool EndpointsPrecede(EdgeEndpoints a, EdgeEndpoints b) {
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+
+}  // namespace
 
 EdgeId Graph::FindEdge(VertexId u, VertexId v) const {
   if (u >= num_vertices_ || v >= num_vertices_ || u == v) return kInvalidEdge;
@@ -24,25 +34,11 @@ uint64_t Graph::TriangleWorkBound() const {
   return total;
 }
 
-void GraphBuilder::AddEdge(VertexId u, VertexId v) {
-  if (u == v) return;
-  if (u > v) std::swap(u, v);
-  num_vertices_ = std::max(num_vertices_, v + 1);
-  pending_.push_back(EdgeEndpoints{u, v});
-}
-
-Graph GraphBuilder::Build() {
-  std::sort(pending_.begin(), pending_.end(),
-            [](EdgeEndpoints a, EdgeEndpoints b) {
-              return a.u != b.u ? a.u < b.u : a.v < b.v;
-            });
-  pending_.erase(std::unique(pending_.begin(), pending_.end()),
-                 pending_.end());
-
+Graph Graph::FromSortedEdges(uint32_t num_vertices,
+                             std::vector<EdgeEndpoints> edges) {
   Graph g;
-  g.num_vertices_ = num_vertices_;
-  g.edges_ = std::move(pending_);
-  pending_.clear();
+  g.num_vertices_ = num_vertices;
+  g.edges_ = std::move(edges);
 
   const uint32_t n = g.num_vertices_;
   const uint32_t m = static_cast<uint32_t>(g.edges_.size());
@@ -60,7 +56,7 @@ Graph GraphBuilder::Build() {
     g.adj_[cursor[ends.u]++] = AdjEntry{ends.v, e};
     g.adj_[cursor[ends.v]++] = AdjEntry{ends.u, e};
   }
-  // Edges were added in (u, v) order, so each vertex's higher neighbors are
+  // Edges arrive in (u, v) order, so each vertex's higher neighbors are
   // already sorted, but lower neighbors interleave; sort each range.
   for (uint32_t v = 0; v < n; ++v) {
     std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1],
@@ -69,6 +65,110 @@ Graph GraphBuilder::Build() {
               });
   }
   return g;
+}
+
+StatusOr<GraphEditResult> Graph::ApplyEdits(const GraphDelta& delta) const {
+  return ApplyEdits(delta.add, delta.remove);
+}
+
+StatusOr<GraphEditResult> Graph::ApplyEdits(
+    const std::vector<EdgeEndpoints>& adds,
+    const std::vector<EdgeEndpoints>& removes) const {
+  const uint32_t old_m = NumEdges();
+
+  // Resolve removals to old edge ids (absent edges are a caller error — a
+  // streaming feed that deletes a never-inserted edge is out of sync).
+  std::vector<bool> removed(old_m, false);
+  for (const EdgeEndpoints& r : removes) {
+    const EdgeId e = FindEdge(r.u, r.v);
+    if (e == kInvalidEdge) {
+      return Status::InvalidArgument(
+          "ApplyEdits: removed edge {" + std::to_string(r.u) + ", " +
+          std::to_string(r.v) + "} is not in the graph");
+    }
+    removed[e] = true;
+  }
+
+  // Normalize + dedup the additions; re-adding an existing edge is an
+  // idempotent no-op unless the same delta also removes it (ambiguous).
+  std::vector<EdgeEndpoints> pending;
+  pending.reserve(adds.size());
+  uint32_t new_n = num_vertices_;
+  for (EdgeEndpoints a : adds) {
+    if (a.u == a.v) {
+      return Status::InvalidArgument(
+          "ApplyEdits: added edge {" + std::to_string(a.u) + ", " +
+          std::to_string(a.v) + "} is a self-loop");
+    }
+    if (a.u > a.v) std::swap(a.u, a.v);
+    if (a.v >= kInvalidVertex) {
+      return Status::InvalidArgument(
+          "ApplyEdits: vertex id " + std::to_string(a.v) +
+          " overflows the VertexId space");
+    }
+    const EdgeId existing = FindEdge(a.u, a.v);
+    if (existing != kInvalidEdge) {
+      if (removed[existing]) {
+        return Status::InvalidArgument(
+            "ApplyEdits: edge {" + std::to_string(a.u) + ", " +
+            std::to_string(a.v) + "} is both added and removed");
+      }
+      continue;
+    }
+    new_n = std::max(new_n, a.v + 1);
+    pending.push_back(a);
+  }
+  std::sort(pending.begin(), pending.end(), EndpointsPrecede);
+  pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
+
+  // Merge the surviving old edges (edges_ is (u, v)-sorted by construction)
+  // with the sorted additions, assigning new ids in merge order and
+  // recording the remap as each old edge lands.
+  GraphEditResult result;
+  result.edge_remap.assign(old_m, kInvalidEdge);
+  std::vector<EdgeEndpoints> merged;
+  merged.reserve(old_m + pending.size());
+  EdgeId old_e = 0;
+  size_t add_i = 0;
+  while (old_e < old_m || add_i < pending.size()) {
+    const bool take_old =
+        add_i == pending.size() ||
+        (old_e < old_m && EndpointsPrecede(edges_[old_e], pending[add_i]));
+    if (take_old) {
+      if (!removed[old_e]) {
+        result.edge_remap[old_e] = static_cast<EdgeId>(merged.size());
+        merged.push_back(edges_[old_e]);
+      }
+      ++old_e;
+    } else {
+      result.added_edges.push_back(static_cast<EdgeId>(merged.size()));
+      merged.push_back(pending[add_i]);
+      ++add_i;
+    }
+  }
+  result.graph = FromSortedEdges(new_n, std::move(merged));
+  return result;
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  // v + 1 below would wrap to 0 on the sentinel and silently corrupt
+  // num_vertices_; ids this large are a caller bug (the IO layer rejects
+  // them with a Status before they reach the builder).
+  ATR_CHECK_MSG(v < kInvalidVertex,
+                "AddEdge: vertex id overflows the VertexId space");
+  num_vertices_ = std::max(num_vertices_, v + 1);
+  pending_.push_back(EdgeEndpoints{u, v});
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(pending_.begin(), pending_.end(), EndpointsPrecede);
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+  std::vector<EdgeEndpoints> edges = std::move(pending_);
+  pending_.clear();
+  return Graph::FromSortedEdges(num_vertices_, std::move(edges));
 }
 
 }  // namespace atr

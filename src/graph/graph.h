@@ -9,6 +9,13 @@
 // Graphs are built through GraphBuilder, which deduplicates parallel edges
 // and drops self-loops; topology is immutable afterwards. Anchoring never
 // mutates the graph (anchors are flags interpreted by the truss layer).
+//
+// Streaming updates do not mutate a Graph either: Graph::ApplyEdits takes a
+// GraphDelta (edge insertions + deletions) and materializes the NEXT
+// immutable CSR snapshot, together with a stable old-edge-id -> new-edge-id
+// remap table so per-edge state (a truss decomposition, anchor flags) can
+// be carried across versions instead of recomputed (see
+// AtrService::UpdateGraph and truss/incremental.h).
 
 #ifndef ATR_GRAPH_GRAPH_H_
 #define ATR_GRAPH_GRAPH_H_
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "util/macros.h"
+#include "util/status.h"
 
 namespace atr {
 
@@ -42,6 +50,15 @@ struct AdjEntry {
   VertexId neighbor;
   EdgeId edge;
 };
+
+// A batch of edge mutations against one graph version (endpoints in either
+// orientation). Consumed by Graph::ApplyEdits.
+struct GraphDelta {
+  std::vector<EdgeEndpoints> add;
+  std::vector<EdgeEndpoints> remove;
+};
+
+struct GraphEditResult;
 
 class Graph {
  public:
@@ -87,13 +104,48 @@ class Graph {
 
   const std::vector<EdgeEndpoints>& edges() const { return edges_; }
 
+  // Materializes the next immutable snapshot: this graph with every edge in
+  // `delta.remove` deleted and every edge in `delta.add` inserted, plus the
+  // edge-id remap that lets callers carry per-edge state across versions.
+  // Vertex ids are stable — the vertex count only grows (to cover added
+  // endpoints); deletions leave isolated vertices in place.
+  //
+  // Semantics: additions are normalized and deduplicated, and an addition
+  // that already exists is an idempotent no-op (the edge keeps its remapped
+  // id and is not reported in `added_edges`). Errors (kInvalidArgument):
+  // self-loop or vertex id >= kInvalidVertex in `add`, a `remove` edge that
+  // is absent, and an edge both added and removed in the same delta.
+  StatusOr<GraphEditResult> ApplyEdits(const GraphDelta& delta) const;
+  StatusOr<GraphEditResult> ApplyEdits(
+      const std::vector<EdgeEndpoints>& adds,
+      const std::vector<EdgeEndpoints>& removes) const;
+
  private:
   friend class GraphBuilder;
+
+  // Shared CSR materialization for GraphBuilder::Build and ApplyEdits:
+  // `edges` must be normalized (u < v), sorted by (u, v), duplicate-free,
+  // with endpoints < num_vertices.
+  static Graph FromSortedEdges(uint32_t num_vertices,
+                               std::vector<EdgeEndpoints> edges);
 
   uint32_t num_vertices_ = 0;
   std::vector<uint32_t> offsets_;  // size num_vertices_ + 1
   std::vector<AdjEntry> adj_;      // size 2m, sorted per vertex
   std::vector<EdgeEndpoints> edges_;
+};
+
+// Result of Graph::ApplyEdits — the new snapshot plus the id translation
+// downstream per-edge state (truss decompositions, anchor masks) needs to
+// migrate from the previous version.
+struct GraphEditResult {
+  Graph graph;
+  // Indexed by old EdgeId: the edge's id in `graph`, or kInvalidEdge for
+  // edges the delta removed.
+  std::vector<EdgeId> edge_remap;
+  // Ids (in `graph`, ascending) of the edges the delta genuinely added —
+  // idempotent re-additions of existing edges are not listed.
+  std::vector<EdgeId> added_edges;
 };
 
 // Accumulates an edge list and produces a normalized Graph: self-loops

@@ -474,6 +474,59 @@ uint32_t IncrementalTruss::ApplyAnchor(EdgeId e,
   return gain;
 }
 
+uint32_t IncrementalTruss::InsertEdge(EdgeId e) {
+  ATR_CHECK(e < g_->NumEdges());
+  ATR_CHECK_MSG(!IsAlive(e), "InsertEdge: edge is already alive");
+  ++stats_.edges_inserted;
+
+  // Commit a provisional alive state before seeding: the simulation must
+  // see `e` as a peelable region edge whose triangles contribute to its
+  // partners' initial supports. The stored (2, 0) reads as "removed before
+  // every real peel event" (real layers start at 1), so ExpandRegion
+  // classifies the insertion as a presence-growing change over exactly
+  // [2, sim_t(e)] — partners above the settled trussness keep their trace.
+  CommitEdgeState(e, 2, 0, /*anchored=*/false);
+
+  ++region_pass_;
+  region_.clear();
+  AddToRegion(e);
+  // Every partner of a now-standing triangle through `e` gains support at
+  // all phases up to e's settled removal time, which can lift any of them.
+  ForEachTriangleOfEdge(*g_, e, [&](VertexId, EdgeId p, EdgeId q) {
+    if (!IsAlive(p) || !IsAlive(q)) return;
+    AddToRegion(p);
+    AddToRegion(q);
+  });
+
+  if (RunLocalizedUpdate() != kAnchoredTrussness) {
+    for (const EdgeId r : region_) {
+      if (sim_t_[r] != decomp_.trussness[r] ||
+          sim_l_[r] != decomp_.layer[r]) {
+        CommitEdgeState(r, sim_t_[r], sim_l_[r], false);
+      }
+    }
+  }
+  RecomputeMaxTrussness();
+  return decomp_.trussness[e];
+}
+
+StatusOr<EdgeId> IncrementalTruss::InsertEdge(VertexId u, VertexId v) {
+  const EdgeId e = g_->FindEdge(u, v);
+  if (e == kInvalidEdge) {
+    return Status::NotFound(
+        "InsertEdge: the topology has no {" + std::to_string(u) + ", " +
+        std::to_string(v) +
+        "} slot; materialize a new snapshot with Graph::ApplyEdits");
+  }
+  if (IsAlive(e)) {
+    return Status::FailedPrecondition(
+        "InsertEdge: edge {" + std::to_string(u) + ", " + std::to_string(v) +
+        "} is already alive");
+  }
+  InsertEdge(e);
+  return e;
+}
+
 uint64_t IncrementalTruss::RemoveEdge(EdgeId e) {
   ATR_CHECK(e < g_->NumEdges());
   ATR_CHECK_MSG(IsAlive(e), "RemoveEdge: edge was already removed");

@@ -10,12 +10,23 @@
 //   * ApplyAnchor(x)  — x becomes anchored (infinite support),
 //   * RemoveEdge(x)   — x leaves the maintained subgraph,
 //
+// and one streaming arrival:
+//
+//   * InsertEdge(x)   — x (re-)joins the maintained subgraph,
+//
 // by re-running the peel only over a localized affected region, in the
 // spirit of the k-core insertion-maintenance literature (see PAPERS.md,
 // "K-Core Maximization through Edge Additions"): trussness and layer of an
 // edge are functions of *when* its triangle partners disappear from the
 // peel, so a mutation can only reach edges that are triangle-connected to
 // it through edges whose own (trussness, layer) changed.
+//
+// Insertion works over the fixed CSR topology: the inserted edge must have
+// a slot in the Graph (it was removed earlier, or the snapshot was
+// materialized with the edge pre-declared via Graph::ApplyEdits and seeded
+// dead). Arrivals of genuinely new topology go through
+// Graph::ApplyEdits + a seeded engine on the new snapshot — the pattern
+// AtrService::UpdateGraph packages up.
 //
 // The update is exact, not approximate: the affected-region re-peel
 // replays the batch-peeling process of ComputeTrussDecomposition with
@@ -47,6 +58,7 @@
 
 #include "graph/graph.h"
 #include "truss/decomposition.h"
+#include "util/status.h"
 
 namespace atr {
 
@@ -116,6 +128,18 @@ class IncrementalTruss {
   // the *other* edges (the edge-deletion baseline's impact metric).
   uint64_t RemoveEdge(EdgeId e);
 
+  // (Re-)inserts `e` — present in the topology, currently removed — into
+  // the maintained subgraph and updates the decomposition locally via the
+  // same affected-region machinery (with the full-rebuild fallback).
+  // Returns the trussness the inserted edge settles at.
+  uint32_t InsertEdge(EdgeId e);
+
+  // Streaming-arrival flavor: resolves {u, v} against the topology.
+  // kNotFound when the topology has no such slot (materialize a new
+  // snapshot with Graph::ApplyEdits first), kFailedPrecondition when the
+  // edge is already alive. Returns the edge id on success.
+  StatusOr<EdgeId> InsertEdge(VertexId u, VertexId v);
+
   // Undo-log cursor for speculative apply/rollback. Rolling back restores
   // the decomposition, anchor set, and alive set byte-identically; marks
   // taken after the target checkpoint are invalidated (RollbackTo aborts
@@ -146,6 +170,7 @@ class IncrementalTruss {
   struct Stats {
     uint64_t anchors_applied = 0;
     uint64_t edges_removed = 0;
+    uint64_t edges_inserted = 0;
     uint64_t rollbacks = 0;
     // Sum over updates of the final affected-region size (edges re-peeled).
     uint64_t region_edges_total = 0;

@@ -134,5 +134,124 @@ TEST_P(TriangleConsistencyTest, PerEdgeTrianglesHaveConsistentEndpoints) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TriangleConsistencyTest,
                          ::testing::Range<uint64_t>(0, 10));
 
+// --- Graph::ApplyEdits ----------------------------------------------------
+
+TEST(ApplyEdits, ProducesEditedSnapshotWithStableRemap) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  const Graph g = b.Build();
+
+  GraphDelta delta;
+  delta.remove.push_back(g.Edge(g.FindEdge(1, 2)));
+  delta.add.push_back(EdgeEndpoints{4, 0});  // either orientation
+  delta.add.push_back(EdgeEndpoints{2, 4});
+  StatusOr<GraphEditResult> edited = g.ApplyEdits(delta);
+  ASSERT_TRUE(edited.ok()) << edited.status().message();
+
+  const Graph& next = edited->graph;
+  EXPECT_EQ(next.NumVertices(), 5u);
+  EXPECT_EQ(next.NumEdges(), 5u);
+  EXPECT_FALSE(next.HasEdge(1, 2));
+  EXPECT_TRUE(next.HasEdge(0, 4));
+  EXPECT_TRUE(next.HasEdge(2, 4));
+
+  // Surviving edges map to the id carrying the same endpoints; removed
+  // edges read the sentinel.
+  ASSERT_EQ(edited->edge_remap.size(), g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const EdgeId mapped = edited->edge_remap[e];
+    if (e == g.FindEdge(1, 2)) {
+      EXPECT_EQ(mapped, kInvalidEdge);
+    } else {
+      ASSERT_NE(mapped, kInvalidEdge);
+      EXPECT_EQ(next.Edge(mapped), g.Edge(e));
+    }
+  }
+  // Added edges are reported under their new ids, ascending.
+  ASSERT_EQ(edited->added_edges.size(), 2u);
+  EXPECT_LT(edited->added_edges[0], edited->added_edges[1]);
+  for (const EdgeId e : edited->added_edges) {
+    EXPECT_EQ(g.FindEdge(next.Edge(e).u, next.Edge(e).v), kInvalidEdge);
+  }
+
+  // The snapshot is byte-identical to building the edited edge list from
+  // scratch (same normalization, same (u, v)-sorted id assignment).
+  GraphBuilder fresh(5);
+  fresh.AddEdge(0, 1);
+  fresh.AddEdge(2, 3);
+  fresh.AddEdge(3, 4);
+  fresh.AddEdge(0, 4);
+  fresh.AddEdge(2, 4);
+  EXPECT_EQ(next.edges(), fresh.Build().edges());
+}
+
+TEST(ApplyEdits, GrowsVertexSetForNewEndpoints) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  GraphDelta delta;
+  delta.add.push_back(EdgeEndpoints{1, 7});
+  StatusOr<GraphEditResult> edited = g.ApplyEdits(delta);
+  ASSERT_TRUE(edited.ok());
+  EXPECT_EQ(edited->graph.NumVertices(), 8u);
+  EXPECT_TRUE(edited->graph.HasEdge(1, 7));
+}
+
+TEST(ApplyEdits, ReAddingAnExistingEdgeIsIdempotent) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Graph g = b.Build();
+  GraphDelta delta;
+  delta.add.push_back(EdgeEndpoints{1, 0});
+  delta.add.push_back(EdgeEndpoints{0, 2});
+  delta.add.push_back(EdgeEndpoints{2, 0});  // duplicate within the batch
+  StatusOr<GraphEditResult> edited = g.ApplyEdits(delta);
+  ASSERT_TRUE(edited.ok());
+  EXPECT_EQ(edited->graph.NumEdges(), 3u);
+  EXPECT_EQ(edited->added_edges.size(), 1u);  // only {0, 2} is new
+}
+
+TEST(ApplyEdits, RejectsInvalidDeltas) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+
+  GraphDelta absent;
+  absent.remove.push_back(EdgeEndpoints{1, 2});
+  EXPECT_EQ(g.ApplyEdits(absent).status().code(),
+            StatusCode::kInvalidArgument);
+
+  GraphDelta self_loop;
+  self_loop.add.push_back(EdgeEndpoints{2, 2});
+  EXPECT_EQ(g.ApplyEdits(self_loop).status().code(),
+            StatusCode::kInvalidArgument);
+
+  GraphDelta add_and_remove;
+  add_and_remove.add.push_back(EdgeEndpoints{0, 1});
+  add_and_remove.remove.push_back(EdgeEndpoints{0, 1});
+  EXPECT_EQ(g.ApplyEdits(add_and_remove).status().code(),
+            StatusCode::kInvalidArgument);
+
+  GraphDelta overflow;
+  overflow.add.push_back(EdgeEndpoints{0, kInvalidVertex});
+  EXPECT_EQ(g.ApplyEdits(overflow).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderDeath, RejectsVertexIdOverflow) {
+  // v + 1 on the sentinel id would wrap num_vertices_ to 0 and silently
+  // corrupt the builder; the contract is a hard CHECK.
+  EXPECT_DEATH(
+      {
+        GraphBuilder b;
+        b.AddEdge(0, kInvalidVertex);
+      },
+      "overflows the VertexId space");
+}
+
 }  // namespace
 }  // namespace atr

@@ -83,6 +83,131 @@ TEST(EdgeListIo, ReportsMalformedLine) {
   std::remove(path.c_str());
 }
 
+TEST(EdgeListIo, LongCommentLinesAreNotSplitIntoBogusEdges) {
+  // Regression: a fixed 512-byte fgets buffer split any longer line, and
+  // the tail of this comment ("... 777 888") would come back as an edge.
+  const std::string path = TempPath("long_comment.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::string comment = "# ";
+  comment.append(1500, 'x');
+  comment += " 777 888\n";
+  std::fputs(comment.c_str(), f);
+  std::fputs("1 2\n", f);
+  std::fclose(f);
+  StatusOr<Graph> g = LoadSnapEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().message();
+  EXPECT_EQ(g->NumVertices(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, LongEdgeLinesParseAcrossTheOldBufferBoundary) {
+  // Regression: ">= 512 chars before the second endpoint" used to split
+  // the line so the first chunk held only one integer (malformed) and the
+  // tail re-parsed as a bogus extra edge.
+  const std::string path = TempPath("long_edge.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::string line = "5";
+  line.append(1000, ' ');
+  line += "6\n";
+  std::fputs(line.c_str(), f);
+  std::fputs("5 7\n", f);
+  std::fclose(f);
+  StatusOr<Graph> g = LoadSnapEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().message();
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, AcceptsCrlfLineEndingsAndNoTrailingNewline) {
+  const std::string path = TempPath("crlf.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# windows export\r\n", f);
+  std::fputs("1 2\r\n", f);
+  std::fputs("2 3", f);  // unterminated final line
+  std::fclose(f);
+  StatusOr<Graph> g = LoadSnapEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().message();
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, EmbeddedNulDoesNotMergePhysicalLines) {
+  // A NUL inside a line must not swallow its newline and splice the next
+  // line's digits onto this one ("1 2<NUL>junk" + "3 4" -> "1 23 4").
+  const std::string path = TempPath("nul.txt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char data[] = "1 2\0junk\n3 4\n";
+  std::fwrite(data, 1, sizeof(data) - 1, f);
+  std::fclose(f);
+  StatusOr<Graph> g = LoadSnapEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().message();
+  EXPECT_EQ(g->NumVertices(), 4u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, NearMaxRawIdsRemapDensely) {
+  // Raw SNAP ids close to UINT32_MAX (and above it, as 64-bit values) must
+  // remap to dense ids instead of feeding the builder values that wrap its
+  // vertex count.
+  const std::string path = TempPath("big_ids.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("4294967295 4294967294\n", f);
+  std::fputs("4294967295 4294967296\n", f);
+  std::fputs("4294967294 18446744073709551609\n", f);
+  std::fclose(f);
+  StatusOr<Graph> g = LoadSnapEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().message();
+  EXPECT_EQ(g->NumVertices(), 4u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, SaveReportsWriteFailure) {
+  // /dev/full accepts the fopen but fails the flush, which only fclose
+  // observes — the regression was checking ferror alone and returning Ok.
+  std::FILE* probe = std::fopen("/dev/full", "w");
+  if (probe == nullptr) GTEST_SKIP() << "/dev/full not available";
+  std::fclose(probe);
+  const Graph g = MakePropertyGraph(3);
+  const Status status = SaveEdgeList(g, "/dev/full");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(EdgeListIo, RoundTripIsExactOnScanMonotoneGraphs) {
+  // Load -> Save -> Load equality. The loader relabels by first appearance
+  // over the (u, v)-sorted edge list the writer emits, so ids are a fixed
+  // point whenever that scan meets vertices in increasing order — a path
+  // with (i, i+2) chords is such a graph. On it the loader and writer are
+  // exact inverses, byte for byte on the edge list.
+  GraphBuilder b(12);
+  for (VertexId v = 0; v + 1 < 12; ++v) b.AddEdge(v, v + 1);
+  for (VertexId v = 0; v + 2 < 12; ++v) b.AddEdge(v, v + 2);
+  const Graph original = b.Build();
+  const std::string path_a = TempPath("exact_a.txt");
+  const std::string path_b = TempPath("exact_b.txt");
+  ASSERT_TRUE(SaveEdgeList(original, path_a).ok());
+  StatusOr<Graph> first = LoadSnapEdgeList(path_a);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->edges(), original.edges());
+  ASSERT_TRUE(SaveEdgeList(*first, path_b).ok());
+  StatusOr<Graph> second = LoadSnapEdgeList(path_b);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->NumVertices(), first->NumVertices());
+  EXPECT_EQ(second->edges(), first->edges());
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
 TEST(Subgraph, InducedKeepsInternalEdgesOnly) {
   GraphBuilder b(5);
   b.AddEdge(0, 1);

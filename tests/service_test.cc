@@ -611,6 +611,253 @@ TEST(ServiceJobs, FinishedJobsReleaseTheirSnapshot) {
   EXPECT_EQ((*job->TryGet())->anchor_edges.size(), 1u);
 }
 
+// --- Streaming updates (UpdateGraph versioning) ---------------------------
+
+// A delta against MakeServiceGraph: removes two existing edges and adds
+// two absent ones (found by scanning vertex pairs).
+GraphDelta MakeServiceDelta(const Graph& g) {
+  GraphDelta delta;
+  delta.remove.push_back(g.Edge(0));
+  delta.remove.push_back(g.Edge(g.NumEdges() / 2));
+  uint32_t found = 0;
+  for (VertexId u = 0; u < g.NumVertices() && found < 2; ++u) {
+    for (VertexId v = u + 1; v < g.NumVertices() && found < 2; ++v) {
+      if (!g.HasEdge(u, v)) {
+        delta.add.push_back(EdgeEndpoints{u, v});
+        ++found;
+      }
+    }
+  }
+  return delta;
+}
+
+TEST(ServiceStreaming, UpdateGraphSeedsWithoutRebuilding) {
+  AtrService service;
+  const Graph original = MakeServiceGraph();
+  ASSERT_TRUE(service.AddGraph("g", original).ok());
+
+  // First use pays the one lazy build.
+  StatusOr<GraphSnapshot> v1 = service.Snapshot("g");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->version, 1u);
+  ASSERT_TRUE(service.Info("g").ok());
+  EXPECT_EQ(service.Info("g")->decomposition_builds, 1u);
+
+  const GraphDelta delta = MakeServiceDelta(*v1->graph);
+  StatusOr<GraphSnapshot> v2 = service.UpdateGraph("g", delta);
+  ASSERT_TRUE(v2.ok()) << v2.status().message();
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(v2->graph->NumEdges(), original.NumEdges());  // -2 +2
+
+  // The seeded decomposition is byte-identical to a from-scratch one...
+  const TrussDecomposition oracle = ComputeTrussDecomposition(*v2->graph);
+  EXPECT_EQ(v2->decomposition->trussness, oracle.trussness);
+  EXPECT_EQ(v2->decomposition->layer, oracle.layer);
+  EXPECT_EQ(v2->decomposition->max_trussness, oracle.max_trussness);
+
+  // ...yet the build counter did not move: the update reused the previous
+  // version's state via the remap + incremental maintenance.
+  StatusOr<AtrService::GraphInfo> info = service.Info("g");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->decomposition_builds, 1u);
+  EXPECT_EQ(info->version, 2u);
+  EXPECT_EQ(info->delta_updates, 1u);
+
+  // The caller-held v1 snapshot still serves the old topology.
+  EXPECT_EQ(v1->graph->NumEdges(), original.NumEdges());
+  EXPECT_TRUE(v1->graph->HasEdge(original.Edge(0).u, original.Edge(0).v));
+  EXPECT_FALSE(v2->graph->HasEdge(original.Edge(0).u, original.Edge(0).v));
+
+  // A second update stacks on the first.
+  StatusOr<GraphSnapshot> v3 =
+      service.UpdateGraph("g", MakeServiceDelta(*v2->graph));
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3->version, 3u);
+  EXPECT_EQ(service.Info("g")->decomposition_builds, 1u);
+  EXPECT_EQ(service.Info("g")->delta_updates, 2u);
+}
+
+TEST(ServiceStreaming, UpdateGraphRejectsBadDeltasAndUnknownNames) {
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+  GraphDelta delta;
+  EXPECT_EQ(service.UpdateGraph("missing", delta).status().code(),
+            StatusCode::kNotFound);
+  delta.remove.push_back(EdgeEndpoints{0, 0});  // not an edge
+  StatusOr<GraphSnapshot> bad = service.UpdateGraph("g", delta);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // The failed update published nothing — and validated the delta before
+  // anything expensive: the never-used graph's lazy build did not run.
+  EXPECT_EQ(service.Info("g")->version, 1u);
+  EXPECT_EQ(service.Info("g")->delta_updates, 0u);
+  EXPECT_EQ(service.Info("g")->decomposition_builds, 0u);
+}
+
+TEST(ServiceStreaming, JobsPinTheVersionCurrentAtSubmit) {
+  AtrService::Options options;
+  options.workers = 1;  // force strict queueing behind the running job
+  AtrService service(options);
+  const Graph original = MakeServiceGraph();
+  ASSERT_TRUE(service.AddGraph("g", original).ok());
+
+  // Job A blocks mid-run on a latch so jobs submitted after it stay
+  // queued across the update.
+  Latch started;
+  Latch release;
+  SolverOptions held;
+  held.budget = 2;
+  bool signalled = false;
+  held.progress = [&](const SolveProgress&) {
+    if (!signalled) {
+      signalled = true;
+      started.Set();
+      release.Wait();
+    }
+    return true;
+  };
+  StatusOr<JobHandle> job_a = service.Submit("g", "gas", held);
+  ASSERT_TRUE(job_a.ok());
+  started.Wait();
+
+  // Submitted while v1 is current: stays pinned to v1 even though it only
+  // runs after the update lands.
+  SolverOptions plain;
+  plain.budget = 2;
+  StatusOr<JobHandle> job_old = service.Submit("g", "gas", plain);
+  ASSERT_TRUE(job_old.ok());
+
+  StatusOr<GraphSnapshot> v2 =
+      service.UpdateGraph("g", MakeServiceDelta(original));
+  ASSERT_TRUE(v2.ok());
+
+  StatusOr<JobHandle> job_new = service.Submit("g", "gas", plain);
+  ASSERT_TRUE(job_new.ok());
+  release.Set();
+
+  StatusOr<SolveResult> old_result = job_old->Wait();
+  ASSERT_TRUE(old_result.ok());
+  StatusOr<SolveResult> new_result = job_new->Wait();
+  ASSERT_TRUE(new_result.ok());
+
+  // Serial engines over the pinned snapshots are the oracles.
+  AtrEngine old_engine(original);
+  StatusOr<SolveResult> old_expected = old_engine.Run("gas", plain);
+  ASSERT_TRUE(old_expected.ok());
+  ExpectSameResult(*old_expected, *old_result, "pinned v1 job");
+
+  AtrEngine new_engine(*v2->graph,
+                       TrussDecomposition(*v2->decomposition));
+  StatusOr<SolveResult> new_expected = new_engine.Run("gas", plain);
+  ASSERT_TRUE(new_expected.ok());
+  ExpectSameResult(*new_expected, *new_result, "post-update job");
+}
+
+// Raced updates and submits must be linearizable and TSan-clean (this
+// whole file runs under the nightly TSan leg): the updater publishes a
+// chain of versions while submitters fire jobs; every job must complete
+// ok against whichever version it pinned.
+TEST(ServiceStreaming, ConcurrentUpdateGraphAndSubmit) {
+  AtrService::Options service_options;
+  service_options.workers = 3;
+  AtrService service(service_options);
+  const Graph original = MakeServiceGraph();
+  ASSERT_TRUE(service.AddGraph("g", original).ok());
+  ASSERT_TRUE(service.Snapshot("g").ok());  // pay the lazy build up front
+
+  // The updater alternately removes and re-adds the same two edges, so
+  // every delta is valid against the version it sees (updates serialize).
+  const EdgeEndpoints ea = original.Edge(1);
+  const EdgeEndpoints eb = original.Edge(2);
+  std::atomic<bool> stop{false};
+  std::thread updater([&] {
+    bool removed = false;
+    for (int i = 0; i < 12; ++i) {
+      GraphDelta delta;
+      if (removed) {
+        delta.add = {ea, eb};
+      } else {
+        delta.remove = {ea, eb};
+      }
+      StatusOr<GraphSnapshot> next = service.UpdateGraph("g", delta);
+      if (!next.ok()) {
+        // Record and bail without skipping the stop below — an early
+        // ASSERT return here would leave the submitters spinning forever.
+        ADD_FAILURE() << next.status().message();
+        break;
+      }
+      removed = !removed;
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> submitters;
+  std::mutex jobs_mu;
+  std::vector<JobHandle> jobs;
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&, t] {
+      SolverOptions o;
+      o.budget = 1 + t;
+      while (!stop.load()) {
+        StatusOr<JobHandle> job = service.Submit("g", "gas", o);
+        ASSERT_TRUE(job.ok());
+        std::lock_guard<std::mutex> lock(jobs_mu);
+        jobs.push_back(*job);
+      }
+    });
+  }
+  updater.join();
+  for (std::thread& t : submitters) t.join();
+  service.Drain();
+
+  for (JobHandle& job : jobs) {
+    StatusOr<SolveResult> result = job.Wait();
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_FALSE(result->anchor_edges.empty());
+  }
+  // Every job forked from a seeded snapshot; the one from-scratch build
+  // stays the one from-scratch build.
+  EXPECT_EQ(service.Info("g")->decomposition_builds, 1u);
+  EXPECT_EQ(service.Info("g")->delta_updates, 12u);
+}
+
+TEST(ServiceStreaming, CheckoutSessionInsertEdgeRoundTrip) {
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+  StatusOr<std::unique_ptr<AtrEngine>> session = service.CheckoutSession("g");
+  ASSERT_TRUE(session.ok());
+  AtrEngine& engine = **session;
+  const EdgeEndpoints ends = engine.graph().Edge(3);
+  ASSERT_TRUE(engine.RemoveEdge(3).ok());
+  StatusOr<uint32_t> trussness = engine.InsertEdge(ends.u, ends.v);
+  ASSERT_TRUE(trussness.ok());
+  // Same alive set again: the session matches the untouched snapshot.
+  StatusOr<GraphSnapshot> snapshot = service.Snapshot("g");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(engine.Decomposition().trussness, snapshot->decomposition->trussness);
+  EXPECT_EQ(*trussness, snapshot->decomposition->trussness[3]);
+}
+
+TEST(ServiceStreaming, FailedInsertProbeLeavesSessionPristine) {
+  // The documented arrival flow probes InsertEdge and falls back to
+  // Graph::ApplyEdits on kNotFound; the failed probe must not create a
+  // session (which would make non-greedy solvers reject the engine).
+  AtrService service;
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+  StatusOr<std::unique_ptr<AtrEngine>> session = service.CheckoutSession("g");
+  ASSERT_TRUE(session.ok());
+  AtrEngine& engine = **session;
+  StatusOr<uint32_t> no_slot =
+      engine.InsertEdge(0, engine.graph().NumVertices() + 3);
+  EXPECT_EQ(no_slot.status().code(), StatusCode::kNotFound);
+  const EdgeEndpoints alive = engine.graph().Edge(0);
+  StatusOr<uint32_t> already = engine.InsertEdge(alive.u, alive.v);
+  EXPECT_EQ(already.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(engine.HasSessionMutations());
+  SolverOptions options;
+  options.budget = 1;
+  EXPECT_TRUE(engine.Run("exact", options).ok());  // not a mutated session
+}
+
 // Drain really waits for everything submitted so far.
 TEST(ServiceJobs, DrainWaitsForAllJobs) {
   AtrService::Options options;

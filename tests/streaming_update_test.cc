@@ -1,0 +1,382 @@
+// Randomized streaming differential harness for the dynamic-update
+// subsystem: on seeded random graphs (Erdős–Rényi and power-law families),
+// interleave InsertEdge / RemoveEdge / ApplyAnchor / rollback operations
+// and assert after EVERY step that the maintained decomposition —
+// trussness, layer, and max_trussness — is byte-identical to a
+// from-scratch ComputeTrussDecompositionOnSubset over the same anchors and
+// alive edges. Episodes run at thread counts {1, 8} (the oracle and the
+// engine's full-rebuild fallback dispatch through the parallel peel, so
+// the streaming path is exercised against both engines), with the fan-out
+// cutoff lowered so the parallel engine engages on these small graphs.
+//
+// The Graph::ApplyEdits carry differential replays what
+// AtrService::UpdateGraph does — retire removed edges on the old topology,
+// re-home the state across the edge-id remap, stream the added edges in —
+// and checks the result against a from-scratch decomposition of the new
+// snapshot.
+//
+// Stress knobs (the CI nightly job turns these up):
+//   ATR_STRESS_ITERS — multiplies the number of random graphs (default 1)
+//   ATR_STRESS_SEED  — offsets every graph seed (default 0)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "api/engine.h"
+#include "graph/generators/generators.h"
+#include "graph/graph.h"
+#include "tests/paper_fixtures.h"
+#include "truss/decomposition.h"
+#include "truss/incremental.h"
+#include "truss/parallel_peel.h"
+#include "util/env.h"
+#include "util/parallel_for.h"
+#include "util/prng.h"
+
+namespace atr {
+namespace {
+
+uint64_t StressIters() {
+  return static_cast<uint64_t>(
+      std::max<int64_t>(1, GetEnvInt64("ATR_STRESS_ITERS", 1)));
+}
+
+uint64_t StressSeed() {
+  return static_cast<uint64_t>(
+      std::max<int64_t>(0, GetEnvInt64("ATR_STRESS_SEED", 0)));
+}
+
+// RAII cutoff override so every test restores the production value.
+class ScopedPeelCutoff {
+ public:
+  explicit ScopedPeelCutoff(size_t cutoff)
+      : previous_(internal::SetParallelPeelMinFrontierForTest(cutoff)) {}
+  ~ScopedPeelCutoff() {
+    internal::SetParallelPeelMinFrontierForTest(previous_);
+  }
+
+ private:
+  size_t previous_;
+};
+
+Graph MakeStreamingGraph(uint64_t seed) {
+  if (seed % 2 == 0) {
+    return ErdosRenyiGraph(25 + seed % 30, 60 + (seed * 13) % 120, seed);
+  }
+  return HolmeKimGraph(30 + seed % 25, 2 + seed % 3,
+                       0.3 + 0.1 * (seed % 6), seed);
+}
+
+TrussDecomposition Oracle(const IncrementalTruss& inc) {
+  return ComputeTrussDecompositionOnSubset(inc.graph(), inc.anchored(),
+                                           inc.AliveEdges());
+}
+
+void ExpectByteIdentical(const IncrementalTruss& inc, uint64_t seed,
+                         int step) {
+  const TrussDecomposition oracle = Oracle(inc);
+  const TrussDecomposition& maintained = inc.decomposition();
+  ASSERT_EQ(maintained.trussness, oracle.trussness)
+      << "trussness diverged, seed " << seed << " step " << step;
+  ASSERT_EQ(maintained.layer, oracle.layer)
+      << "layer diverged, seed " << seed << " step " << step;
+  ASSERT_EQ(maintained.max_trussness, oracle.max_trussness)
+      << "max_trussness diverged, seed " << seed << " step " << step;
+}
+
+struct StateSnapshot {
+  std::vector<uint32_t> trussness;
+  std::vector<uint32_t> layer;
+  uint32_t max_trussness;
+  std::vector<bool> anchored;
+  uint64_t total_trussness;
+
+  explicit StateSnapshot(const IncrementalTruss& inc)
+      : trussness(inc.decomposition().trussness),
+        layer(inc.decomposition().layer),
+        max_trussness(inc.decomposition().max_trussness),
+        anchored(inc.anchored()),
+        total_trussness(inc.total_trussness()) {}
+
+  void ExpectEquals(const IncrementalTruss& inc, uint64_t seed) const {
+    EXPECT_EQ(trussness, inc.decomposition().trussness) << "seed " << seed;
+    EXPECT_EQ(layer, inc.decomposition().layer) << "seed " << seed;
+    EXPECT_EQ(max_trussness, inc.decomposition().max_trussness)
+        << "seed " << seed;
+    EXPECT_EQ(anchored, inc.anchored()) << "seed " << seed;
+    EXPECT_EQ(total_trussness, inc.total_trussness()) << "seed " << seed;
+  }
+};
+
+EdgeId PickEdge(const std::vector<EdgeId>& pool, Rng& rng) {
+  return pool.empty() ? kInvalidEdge : pool[rng.NextBounded(pool.size())];
+}
+
+std::vector<EdgeId> MutableEdges(const IncrementalTruss& inc) {
+  std::vector<EdgeId> pool;
+  for (EdgeId e = 0; e < inc.graph().NumEdges(); ++e) {
+    if (inc.IsAlive(e) && !inc.IsAnchored(e)) pool.push_back(e);
+  }
+  return pool;
+}
+
+std::vector<EdgeId> DeadEdges(const IncrementalTruss& inc) {
+  std::vector<EdgeId> pool;
+  for (EdgeId e = 0; e < inc.graph().NumEdges(); ++e) {
+    if (!inc.IsAlive(e)) pool.push_back(e);
+  }
+  return pool;
+}
+
+// Applies one random operation; returns false when nothing was eligible.
+bool RandomOp(IncrementalTruss& inc, Rng& rng) {
+  const std::vector<EdgeId> dead = DeadEdges(inc);
+  const uint64_t roll = rng.NextBounded(100);
+  if (roll < 35 && !dead.empty()) {
+    const EdgeId e = PickEdge(dead, rng);
+    const EdgeEndpoints ends = inc.graph().Edge(e);
+    StatusOr<EdgeId> inserted = inc.InsertEdge(ends.u, ends.v);
+    if (!inserted.ok()) {
+      // Keep the episode's seed/step diagnostics: dereferencing an error
+      // StatusOr would abort the whole sweep.
+      ADD_FAILURE() << "InsertEdge failed: " << inserted.status().message();
+      return false;
+    }
+    EXPECT_EQ(*inserted, e);
+    return true;
+  }
+  const std::vector<EdgeId> eligible = MutableEdges(inc);
+  const EdgeId e = PickEdge(eligible, rng);
+  if (e == kInvalidEdge) return false;
+  if (roll < 65) {
+    inc.RemoveEdge(e);
+  } else {
+    inc.ApplyAnchor(e);
+  }
+  return true;
+}
+
+// One randomized episode: interleaved inserts/removals/anchors with a full
+// oracle comparison after every step, plus one rollback round-trip whose
+// speculative window itself mixes all three operations.
+void RunEpisode(uint64_t seed) {
+  const Graph g = MakeStreamingGraph(seed);
+  if (g.NumEdges() == 0) return;
+  IncrementalTruss inc(g);
+  ExpectByteIdentical(inc, seed, -1);
+
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+  // Open with a removal burst so the insert pool is non-trivial from the
+  // start (later steps keep churning the same slots).
+  const int burst = 2 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < burst; ++i) {
+    const EdgeId e = PickEdge(MutableEdges(inc), rng);
+    if (e == kInvalidEdge) break;
+    inc.RemoveEdge(e);
+    ASSERT_NO_FATAL_FAILURE(ExpectByteIdentical(inc, seed, -2));
+  }
+
+  const int steps = 10 + static_cast<int>(rng.NextBounded(8));
+  for (int step = 0; step < steps; ++step) {
+    if (!RandomOp(inc, rng)) break;
+    ASSERT_NO_FATAL_FAILURE(ExpectByteIdentical(inc, seed, step));
+  }
+  EXPECT_EQ(inc.stats().follower_mismatches, 0u) << "seed " << seed;
+
+  // Rollback round-trip across a speculative window of streaming ops.
+  const StateSnapshot snapshot(inc);
+  const IncrementalTruss::Checkpoint cp = inc.MarkRollbackPoint();
+  Rng spec_rng(seed ^ 0x5ca1ab1e0ddba11ULL);
+  for (int i = 0; i < 5; ++i) {
+    if (!RandomOp(inc, spec_rng)) break;
+  }
+  inc.RollbackTo(cp);
+  snapshot.ExpectEquals(inc, seed);
+  ASSERT_NO_FATAL_FAILURE(ExpectByteIdentical(inc, seed, steps));
+}
+
+// The issue's required thread counts: the oracle and the engine's
+// full-rebuild fallback dispatch serial at 1 worker and through the
+// round-synchronous parallel peel at 8.
+void RunSweep(uint64_t episodes, uint64_t base, int threads) {
+  ScopedParallelism parallelism(threads);
+  // Force the fan-out path on these sub-cutoff graphs when sweeping with
+  // workers; the single-thread leg keeps the production cutoff (serial).
+  std::optional<ScopedPeelCutoff> cutoff;
+  if (threads > 1) cutoff.emplace(1);
+  for (uint64_t i = 0; i < episodes; ++i) {
+    ASSERT_NO_FATAL_FAILURE(RunEpisode(base + i))
+        << "episode " << i << " threads " << threads;
+  }
+}
+
+TEST(StreamingDifferential, InterleavedOpsMatchOracleSingleThread) {
+  const uint64_t episodes = 60 * StressIters();
+  RunSweep(episodes, StressSeed() * 1000003ULL, 1);
+}
+
+TEST(StreamingDifferential, InterleavedOpsMatchOracleEightThreads) {
+  const uint64_t episodes = 60 * StressIters();
+  RunSweep(episodes, StressSeed() * 1000003ULL + 500000ULL, 8);
+}
+
+TEST(StreamingInsert, RemoveThenReinsertRestoresByteIdenticalState) {
+  const Graph g = MakeFig3Graph();
+  IncrementalTruss inc(g);
+  const StateSnapshot pristine(inc);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    inc.RemoveEdge(e);
+    EXPECT_FALSE(inc.IsAlive(e));
+    const uint32_t t = inc.InsertEdge(e);
+    EXPECT_TRUE(inc.IsAlive(e));
+    EXPECT_EQ(t, pristine.trussness[e]);
+    // Same alive set as before the churn => the exact same decomposition.
+    pristine.ExpectEquals(inc, e);
+  }
+  EXPECT_EQ(inc.stats().edges_inserted, g.NumEdges());
+}
+
+TEST(StreamingInsert, EndpointFlavorValidates) {
+  const Graph g = MakeFig3Graph();
+  IncrementalTruss inc(g);
+  // Alive edge: precondition failure.
+  const EdgeEndpoints alive = g.Edge(0);
+  StatusOr<EdgeId> already = inc.InsertEdge(alive.u, alive.v);
+  ASSERT_FALSE(already.ok());
+  EXPECT_EQ(already.status().code(), StatusCode::kFailedPrecondition);
+  // No slot in the topology: not found.
+  StatusOr<EdgeId> missing = inc.InsertEdge(0, g.NumVertices() + 5);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // Removed edge: revives under either endpoint order.
+  inc.RemoveEdge(0);
+  StatusOr<EdgeId> revived = inc.InsertEdge(g.Edge(0).v, g.Edge(0).u);
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ(*revived, 0u);
+  EXPECT_TRUE(inc.IsAlive(0));
+}
+
+TEST(StreamingInsert, InsertNearAnchorsMatchesOracle) {
+  const Graph g = MakeFig3Graph();
+  IncrementalTruss inc(g);
+  inc.ApplyAnchor(Fig3Edge(g, 5, 8));
+  const EdgeId victim = Fig3Edge(g, 3, 4);
+  ASSERT_NE(victim, kInvalidEdge);
+  inc.RemoveEdge(victim);
+  ASSERT_NO_FATAL_FAILURE(ExpectByteIdentical(inc, 0, 0));
+  inc.InsertEdge(victim);
+  ASSERT_NO_FATAL_FAILURE(ExpectByteIdentical(inc, 0, 1));
+}
+
+// --- Graph::ApplyEdits carry differential --------------------------------
+
+// Replays the UpdateGraph seeding recipe for one delta and asserts the
+// carried + maintained decomposition is byte-identical to a from-scratch
+// decomposition of the new snapshot.
+void RunCarryEpisode(uint64_t seed) {
+  const Graph g = MakeStreamingGraph(seed);
+  if (g.NumEdges() < 4) return;
+  Rng rng(seed * 0x2545f4914f6cdd1dULL + 3);
+
+  GraphDelta delta;
+  const uint32_t removals = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+  std::vector<bool> chosen(g.NumEdges(), false);
+  for (uint32_t i = 0; i < removals; ++i) {
+    const EdgeId e = static_cast<EdgeId>(rng.NextBounded(g.NumEdges()));
+    if (chosen[e]) continue;
+    chosen[e] = true;
+    delta.remove.push_back(g.Edge(e));
+  }
+  const uint32_t additions = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+  for (uint32_t i = 0; i < additions; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(g.NumVertices() + 2));
+    if (u == v) continue;
+    if (g.FindEdge(u, v) != kInvalidEdge && chosen[g.FindEdge(u, v)]) {
+      continue;  // add+remove of one edge in a delta is rejected by design
+    }
+    delta.add.push_back(EdgeEndpoints{u, v});
+  }
+
+  StatusOr<GraphEditResult> edited = g.ApplyEdits(delta);
+  ASSERT_TRUE(edited.ok()) << edited.status().message() << " seed " << seed;
+
+  // Retire removals on the old topology, carry across the remap, stream
+  // the additions in — the UpdateGraph recipe.
+  IncrementalTruss retire(g);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (edited->edge_remap[e] == kInvalidEdge) retire.RemoveEdge(e);
+  }
+  const uint32_t next_m = edited->graph.NumEdges();
+  TrussDecomposition carried;
+  carried.trussness.assign(next_m, kTrussnessNotComputed);
+  carried.layer.assign(next_m, 0);
+  carried.max_trussness = retire.decomposition().max_trussness;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const EdgeId mapped = edited->edge_remap[e];
+    if (mapped == kInvalidEdge) continue;
+    carried.trussness[mapped] = retire.decomposition().trussness[e];
+    carried.layer[mapped] = retire.decomposition().layer[e];
+  }
+  IncrementalTruss maintained(edited->graph, std::move(carried));
+  for (const EdgeId e : edited->added_edges) maintained.InsertEdge(e);
+
+  const TrussDecomposition oracle =
+      ComputeTrussDecomposition(edited->graph);
+  EXPECT_EQ(maintained.decomposition().trussness, oracle.trussness)
+      << "seed " << seed;
+  EXPECT_EQ(maintained.decomposition().layer, oracle.layer)
+      << "seed " << seed;
+  EXPECT_EQ(maintained.decomposition().max_trussness, oracle.max_trussness)
+      << "seed " << seed;
+}
+
+TEST(ApplyEditsCarry, PreDeclaredArrivalThroughEngineFacade) {
+  // The pre-declared flow: ApplyEdits materializes the slot up front, the
+  // carried seed leaves it dead, and the arrival later streams in through
+  // AtrEngine::InsertEdge on a pristine (sessionless) engine.
+  const Graph g = MakeFig3Graph();
+  GraphDelta delta;
+  delta.add.push_back(EdgeEndpoints{0, g.NumVertices() - 1});
+  StatusOr<GraphEditResult> edited = g.ApplyEdits(delta);
+  ASSERT_TRUE(edited.ok());
+  ASSERT_EQ(edited->added_edges.size(), 1u);
+  const EdgeId slot = edited->added_edges[0];
+
+  const TrussDecomposition base = ComputeTrussDecomposition(g);
+  TrussDecomposition carried;
+  const uint32_t next_m = edited->graph.NumEdges();
+  carried.trussness.assign(next_m, kTrussnessNotComputed);
+  carried.layer.assign(next_m, 0);
+  carried.max_trussness = base.max_trussness;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    carried.trussness[edited->edge_remap[e]] = base.trussness[e];
+    carried.layer[edited->edge_remap[e]] = base.layer[e];
+  }
+
+  AtrEngine engine(edited->graph, std::move(carried));
+  const EdgeEndpoints ends = edited->graph.Edge(slot);
+  StatusOr<uint32_t> trussness = engine.InsertEdge(ends.u, ends.v);
+  ASSERT_TRUE(trussness.ok()) << trussness.status().message();
+  const TrussDecomposition oracle =
+      ComputeTrussDecomposition(edited->graph);
+  EXPECT_EQ(*trussness, oracle.trussness[slot]);
+  EXPECT_EQ(engine.Decomposition().trussness, oracle.trussness);
+  EXPECT_EQ(engine.Decomposition().layer, oracle.layer);
+}
+
+TEST(ApplyEditsCarry, SeededMaintenanceMatchesFromScratch) {
+  const uint64_t episodes = 80 * StressIters();
+  const uint64_t base = StressSeed() * 1000003ULL;
+  for (uint64_t i = 0; i < episodes; ++i) {
+    ASSERT_NO_FATAL_FAILURE(RunCarryEpisode(base + i)) << "episode " << i;
+  }
+}
+
+}  // namespace
+}  // namespace atr
