@@ -1,0 +1,119 @@
+// Fuzz harness for the wire-frame parser and every payload decoder
+// (net/wire.h). Pass criterion: no crash, no sanitizer report — hostile
+// bytes must come back as Status errors or parse failures.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/wire.h"
+
+#include "fuzz/standalone_driver.h"
+
+using namespace atr::net;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // The stream path: feed the bytes in two chunks (exercises incremental
+  // reassembly), pop frames, run each through its type's decoder.
+  FrameParser parser;
+  const size_t split = size / 2;
+  parser.Feed(data, split);
+  parser.Feed(data + split, size - split);
+  while (std::optional<Frame> frame = parser.Next()) {
+    const std::span<const uint8_t> payload(frame->payload);
+    switch (frame->type) {
+      case MsgType::kPing: PingRequest::Decode(payload); break;
+      case MsgType::kListGraphs: ListGraphsRequest::Decode(payload); break;
+      case MsgType::kInfo: InfoRequest::Decode(payload); break;
+      case MsgType::kSubmit: SubmitRequest::Decode(payload); break;
+      case MsgType::kWait: WaitRequest::Decode(payload); break;
+      case MsgType::kCancel: CancelRequest::Decode(payload); break;
+      case MsgType::kUpdateGraph: UpdateGraphRequest::Decode(payload); break;
+      case MsgType::kCompact: CompactRequest::Decode(payload); break;
+      case MsgType::kShutdown: ShutdownRequest::Decode(payload); break;
+      case MsgType::kPingResponse: PingResponse::Decode(payload); break;
+      case MsgType::kListGraphsResponse:
+        ListGraphsResponse::Decode(payload);
+        break;
+      case MsgType::kInfoResponse: InfoResponse::Decode(payload); break;
+      case MsgType::kSubmitResponse: SubmitResponse::Decode(payload); break;
+      case MsgType::kWaitResponse: WaitResponse::Decode(payload); break;
+      case MsgType::kCancelResponse: CancelResponse::Decode(payload); break;
+      case MsgType::kUpdateGraphResponse:
+        UpdateGraphResponse::Decode(payload);
+        break;
+      case MsgType::kCompactResponse: CompactResponse::Decode(payload); break;
+      case MsgType::kShutdownResponse:
+        ShutdownResponse::Decode(payload);
+        break;
+      case MsgType::kError: ErrorResponse::Decode(payload); break;
+      default: break;
+    }
+  }
+
+  // The raw-payload path: the whole input as a payload for the decoders
+  // whose frames the stream path may never assemble.
+  const std::span<const uint8_t> raw(data, size);
+  SubmitRequest::Decode(raw);
+  WaitResponse::Decode(raw);
+  InfoResponse::Decode(raw);
+  ListGraphsResponse::Decode(raw);
+  UpdateGraphRequest::Decode(raw);
+  ErrorResponse::Decode(raw);
+  return 0;
+}
+
+std::vector<std::vector<uint8_t>> FuzzSeedCorpus() {
+  std::vector<std::vector<uint8_t>> corpus;
+
+  PingRequest ping;
+  ping.request_id = 7;
+  corpus.push_back(ping.EncodeFrame());
+
+  SubmitRequest submit;
+  submit.request_id = 11;
+  submit.graph = "social";
+  submit.solver = "gas";
+  submit.options.budget = 5;
+  submit.options.budget_checkpoints = {1, 3, 5};
+  corpus.push_back(submit.EncodeFrame());
+
+  WaitResponse wait;
+  wait.request_id = 12;
+  wait.job_id = 4;
+  wait.result.solver = "gas";
+  wait.result.anchor_edges = {1, 2, 3};
+  wait.result.total_gain = 42;
+  wait.result.gain_at_checkpoint = {10, 30, 42};
+  wait.result.seconds = 0.25;
+  corpus.push_back(wait.EncodeFrame());
+
+  UpdateGraphRequest update;
+  update.request_id = 13;
+  update.graph = "social";
+  update.delta.add = {{1, 2}, {3, 4}};
+  update.delta.remove = {{0, 5}};
+  corpus.push_back(update.EncodeFrame());
+
+  ErrorResponse error;
+  error.request_id = 14;
+  error.code = atr::StatusCode::kResourceExhausted;
+  error.message = "queue full";
+  error.retry_after_ms = 150;
+  corpus.push_back(error.EncodeFrame());
+
+  ListGraphsResponse list;
+  list.request_id = 15;
+  list.names = {"a", "bb", "ccc"};
+  corpus.push_back(list.EncodeFrame());
+
+  // Two frames back to back (stream reassembly across a split point).
+  std::vector<uint8_t> pair = ping.EncodeFrame();
+  const std::vector<uint8_t> second = submit.EncodeFrame();
+  pair.insert(pair.end(), second.begin(), second.end());
+  corpus.push_back(std::move(pair));
+
+  return corpus;
+}

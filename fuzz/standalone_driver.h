@@ -1,0 +1,134 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is not
+// available (this container ships gcc only; -fsanitize=fuzzer is a clang
+// feature). Each harness defines the standard entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// plus FuzzSeedCorpus() returning valid encodings to mutate. Built with
+// clang and -DATR_FUZZ=ON the harness links against real libFuzzer and
+// this header contributes nothing; built plain (the default, and what CI
+// runs as a smoke test) this main() replays the seed corpus and a
+// deterministic storm of byte-level mutations of it — no crash and no
+// sanitizer report is the pass criterion.
+//
+//   ./fuzz_wire                 # seeded mutation smoke run
+//   ./fuzz_wire file1 file2     # replay specific inputs (crash repro)
+//   ATR_FUZZ_ITERS=100000 ./fuzz_wire
+//
+// The mutation engine is intentionally simple (bit flips, byte writes,
+// truncations, duplications of seed inputs) — the decoders' attack
+// surface is length/count fields and checksums, which byte-level noise
+// reaches fine.
+
+#ifndef ATR_FUZZ_STANDALONE_DRIVER_H_
+#define ATR_FUZZ_STANDALONE_DRIVER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+// Defined by each harness: well-formed encodings for the mutation engine
+// to start from.
+std::vector<std::vector<uint8_t>> FuzzSeedCorpus();
+
+#ifndef ATR_FUZZ_WITH_LIBFUZZER
+
+#include <cstdlib>
+#include <cstring>
+
+namespace atr_fuzz {
+
+// xorshift64* — deterministic, seedable, no <random> needed.
+inline uint64_t NextRand(uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545f4914f6cdd1dULL;
+}
+
+inline void MutateAndRun(const std::vector<std::vector<uint8_t>>& corpus,
+                         uint64_t iterations, uint64_t seed) {
+  uint64_t rng = seed;
+  for (uint64_t iter = 0; iter < iterations; ++iter) {
+    std::vector<uint8_t> input;
+    if (corpus.empty() || NextRand(rng) % 8 == 0) {
+      // Pure noise input.
+      input.resize(NextRand(rng) % 512);
+      for (uint8_t& b : input) b = uint8_t(NextRand(rng));
+    } else {
+      input = corpus[NextRand(rng) % corpus.size()];
+      const uint64_t mutations = 1 + NextRand(rng) % 8;
+      for (uint64_t m = 0; m < mutations && !input.empty(); ++m) {
+        switch (NextRand(rng) % 4) {
+          case 0:  // flip one bit
+            input[NextRand(rng) % input.size()] ^=
+                uint8_t(1u << (NextRand(rng) % 8));
+            break;
+          case 1:  // overwrite one byte
+            input[NextRand(rng) % input.size()] = uint8_t(NextRand(rng));
+            break;
+          case 2:  // truncate
+            input.resize(NextRand(rng) % (input.size() + 1));
+            break;
+          case 3: {  // duplicate a slice onto the end
+            const size_t from = NextRand(rng) % input.size();
+            const size_t len =
+                NextRand(rng) % (input.size() - from) % 64;
+            input.insert(input.end(), input.begin() + from,
+                         input.begin() + from + len);
+            break;
+          }
+        }
+      }
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+}
+
+}  // namespace atr_fuzz
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::FILE* f = std::fopen(argv[i], "rb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::vector<uint8_t> bytes;
+      uint8_t chunk[4096];
+      size_t n;
+      while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+        bytes.insert(bytes.end(), chunk, chunk + n);
+      }
+      std::fclose(f);
+      LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+      std::printf("replayed %s (%zu bytes)\n", argv[i], bytes.size());
+    }
+    return 0;
+  }
+
+  uint64_t iterations = 2000;
+  if (const char* env = std::getenv("ATR_FUZZ_ITERS")) {
+    iterations = std::strtoull(env, nullptr, 10);
+  }
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  if (const char* env = std::getenv("ATR_FUZZ_SEED")) {
+    seed = std::strtoull(env, nullptr, 10) | 1;
+  }
+
+  const std::vector<std::vector<uint8_t>> corpus = FuzzSeedCorpus();
+  for (const std::vector<uint8_t>& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  atr_fuzz::MutateAndRun(corpus, iterations, seed);
+  std::printf("ok: %zu seed inputs + %llu mutations, no crash\n",
+              corpus.size(), static_cast<unsigned long long>(iterations));
+  return 0;
+}
+
+#endif  // ATR_FUZZ_WITH_LIBFUZZER
+
+#endif  // ATR_FUZZ_STANDALONE_DRIVER_H_

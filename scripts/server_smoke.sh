@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Server integration smoke: start atr_server with a persistent data dir,
+# drive it over TCP with atr_client, kill -TERM, restart, and verify the
+# catalog resumed at its latest version with ZERO decomposition rebuilds
+# and with solve results identical to the pre-restart run.
+#
+#   scripts/server_smoke.sh [BUILD_DIR]     (default: build)
+#
+# Exits non-zero (with the server log on stdout) on any failure.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+PORT=${ATR_SMOKE_PORT:-7421}
+WORK=$(mktemp -d)
+SERVER_PID=""
+trap '[[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "server smoke: FAIL — $1" >&2
+  echo "--- server log ---" >&2
+  cat "$WORK/server.log" >&2 || true
+  exit 1
+}
+
+# A 12-clique: triangle-dense, so every truss solver has real work.
+: > "$WORK/clique.txt"
+for ((u = 0; u < 12; ++u)); do
+  for ((v = u + 1; v < 12; ++v)); do
+    echo "$u $v" >> "$WORK/clique.txt"
+  done
+done
+
+start_server() {
+  "$BUILD_DIR/atr_server" --port "$PORT" --data-dir "$WORK/catalog" "$@" \
+    > "$WORK/server.log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$WORK/server.log" 2>/dev/null && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+  done
+  fail "server did not come up"
+}
+
+client() { "$BUILD_DIR/atr_client" --port "$PORT" "$@"; }
+
+# --- First life: load, mutate, solve -------------------------------------
+start_server --load smoke="$WORK/clique.txt"
+client ping > /dev/null                           || fail "ping"
+client list | grep -qx "smoke"                    || fail "graph not listed"
+client update smoke --remove 0,1 > /dev/null      || fail "update v2"
+client update smoke --add 0,1 > /dev/null         || fail "update v3"
+client info smoke > "$WORK/info_before.txt"       || fail "info"
+grep -q "version: *3" "$WORK/info_before.txt"     || fail "expected version 3"
+client solve smoke gas 2 > "$WORK/solve_before.txt" || fail "solve"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+
+# --- Second life: no --load; everything must come from the catalog -------
+start_server
+client list | grep -qx "smoke"                    || fail "graph not restored"
+client info smoke > "$WORK/info_after.txt"        || fail "info after restart"
+grep -q "version: *3" "$WORK/info_after.txt" \
+  || fail "catalog did not resume at version 3"
+grep -q "decomposition_builds: *0" "$WORK/info_after.txt" \
+  || fail "restore rebuilt a decomposition"
+client solve smoke gas 2 > "$WORK/solve_after.txt" || fail "solve after restart"
+diff <(grep -E "total_gain|anchors" "$WORK/solve_before.txt") \
+     <(grep -E "total_gain|anchors" "$WORK/solve_after.txt") \
+  || fail "solve results diverged across the restart"
+
+client shutdown > /dev/null                       || fail "shutdown request"
+wait "$SERVER_PID" || fail "server exited non-zero on client shutdown"
+SERVER_PID=""
+
+echo "server smoke: OK (restart resumed version 3 with zero rebuilds)"

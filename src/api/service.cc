@@ -29,6 +29,9 @@ struct JobState {
   std::optional<StatusOr<SolveResult>> result;          // guarded by mu
   SolveProgress progress;                               // guarded by mu
   std::atomic<bool> cancel{false};
+  // Completion hook (worker thread): taken out under mu when the result is
+  // published, invoked after the lock drops so it may call handle methods.
+  std::function<void()> on_done;                        // guarded by mu
 };
 
 }  // namespace internal
@@ -105,6 +108,16 @@ struct AtrService::GraphVersion {
   std::once_flag once;
   SharedTrussDecomposition decomposition;
   std::atomic<bool> built{false};
+
+  // Marks this version born built (UpdateGraph publications and restored
+  // snapshots): the once flag is consumed here so SnapshotOf never counts
+  // a build for it.
+  void InstallPrebuilt(SharedTrussDecomposition prebuilt) {
+    std::call_once(once, [this, &prebuilt] {
+      decomposition = std::move(prebuilt);
+      built.store(true, std::memory_order_release);
+    });
+  }
 };
 
 // One catalog slot: the chain of snapshot versions, of which `current` is
@@ -118,6 +131,8 @@ struct AtrService::CatalogEntry {
   std::mutex update_mu;
   std::atomic<uint32_t> builds{0};
   std::atomic<uint64_t> delta_updates{0};
+  // Deltas since the last base snapshot; compaction resets it.
+  std::atomic<uint64_t> delta_chain{0};
   std::atomic<uint64_t> jobs_submitted{0};
 
   std::shared_ptr<GraphVersion> Current() const {
@@ -150,6 +165,57 @@ Status AtrService::AddGraph(const std::string& name,
     return Status::FailedPrecondition("AddGraph: graph \"" + name +
                                       "\" is already registered");
   }
+  return Status::Ok();
+}
+
+Status AtrService::RestoreGraph(const std::string& name,
+                                std::shared_ptr<const Graph> graph,
+                                TrussDecomposition decomposition,
+                                uint64_t version,
+                                uint64_t delta_chain_length) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("RestoreGraph: graph must not be null");
+  }
+  if (decomposition.trussness.size() != graph->NumEdges() ||
+      decomposition.layer.size() != graph->NumEdges()) {
+    return Status::InvalidArgument(
+        "RestoreGraph: decomposition shape does not match the graph (" +
+        std::to_string(decomposition.trussness.size()) + " trussness / " +
+        std::to_string(decomposition.layer.size()) + " layer entries for " +
+        std::to_string(graph->NumEdges()) + " edges)");
+  }
+  if (version == 0) {
+    return Status::InvalidArgument("RestoreGraph: version must be >= 1");
+  }
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->current = std::make_shared<GraphVersion>();
+  entry->current->graph = std::move(graph);
+  entry->current->version = version;
+  entry->current->InstallPrebuilt(
+      std::make_shared<TrussDecomposition>(std::move(decomposition)));
+  entry->delta_chain.store(delta_chain_length, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool inserted = catalog_.emplace(name, std::move(entry)).second;
+  if (!inserted) {
+    return Status::FailedPrecondition("RestoreGraph: graph \"" + name +
+                                      "\" is already registered");
+  }
+  return Status::Ok();
+}
+
+void AtrService::SetUpdateListener(UpdateListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  update_listener_ =
+      listener ? std::make_shared<const UpdateListener>(std::move(listener))
+               : nullptr;
+}
+
+Status AtrService::ResetDeltaChain(const std::string& name) {
+  std::shared_ptr<CatalogEntry> entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("ResetDeltaChain: unknown graph \"" + name + "\"");
+  }
+  entry->delta_chain.store(0, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -255,18 +321,31 @@ StatusOr<GraphSnapshot> AtrService::UpdateGraph(const std::string& name,
   auto next = std::make_shared<GraphVersion>();
   next->graph = next_graph;
   next->version = prev->version + 1;
-  auto decomposition =
-      std::make_shared<TrussDecomposition>(maintained.decomposition());
-  std::call_once(next->once, [&next, &decomposition] {
-    next->decomposition = std::move(decomposition);
-    next->built.store(true, std::memory_order_release);
-  });
+  next->InstallPrebuilt(
+      std::make_shared<TrussDecomposition>(maintained.decomposition()));
+
+  // Write-ahead durability: the persistence listener records the delta
+  // BEFORE the version becomes visible. On failure the update aborts and
+  // the current version stays — a served version is never missing from
+  // the log. (Still under update_mu, so log records arrive in version
+  // order with no gaps.)
+  std::shared_ptr<const UpdateListener> listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listener = update_listener_;
+  }
+  if (listener != nullptr && *listener) {
+    Status persisted = (*listener)(name, next->version, delta);
+    if (!persisted.ok()) return persisted;
+  }
+
   {
     // Count the update inside the publication so a concurrent Info()
     // never observes delta_updates ahead of the published version.
     std::lock_guard<std::mutex> lock(entry->version_mu);
     entry->current = next;
     entry->delta_updates.fetch_add(1, std::memory_order_relaxed);
+    entry->delta_chain.fetch_add(1, std::memory_order_relaxed);
   }
   return GraphSnapshot{next->graph, next->decomposition, next->version};
 }
@@ -296,6 +375,7 @@ StatusOr<AtrService::GraphInfo> AtrService::Info(
   }
   info.version = version->version;
   info.delta_updates = delta_updates;
+  info.delta_chain_length = entry->delta_chain.load(std::memory_order_relaxed);
   info.jobs_submitted = entry->jobs_submitted.load(std::memory_order_relaxed);
   return info;
 }
@@ -303,6 +383,31 @@ StatusOr<AtrService::GraphInfo> AtrService::Info(
 StatusOr<JobHandle> AtrService::Submit(const std::string& graph_name,
                                        const std::string& solver_name,
                                        const SolverOptions& options) {
+  return SubmitInternal(graph_name, solver_name, options, nullptr,
+                        /*blocking=*/true);
+}
+
+StatusOr<JobHandle> AtrService::Submit(const std::string& graph_name,
+                                       const std::string& solver_name,
+                                       const SolverOptions& options,
+                                       std::function<void()> done) {
+  return SubmitInternal(graph_name, solver_name, options, std::move(done),
+                        /*blocking=*/true);
+}
+
+StatusOr<JobHandle> AtrService::TrySubmit(const std::string& graph_name,
+                                          const std::string& solver_name,
+                                          const SolverOptions& options,
+                                          std::function<void()> done) {
+  return SubmitInternal(graph_name, solver_name, options, std::move(done),
+                        /*blocking=*/false);
+}
+
+StatusOr<JobHandle> AtrService::SubmitInternal(const std::string& graph_name,
+                                               const std::string& solver_name,
+                                               const SolverOptions& options,
+                                               std::function<void()> done,
+                                               bool blocking) {
   std::shared_ptr<CatalogEntry> entry = FindEntry(graph_name);
   if (entry == nullptr) {
     return Status::NotFound("Submit: unknown graph \"" + graph_name + "\"");
@@ -319,14 +424,17 @@ StatusOr<JobHandle> AtrService::Submit(const std::string& graph_name,
   state->solver_name = solver_name;
   state->options = options;
   state->solver = std::move(*solver);
+  state->on_done = std::move(done);
   // Pin the version that is current NOW: a queued job is unaffected by
   // UpdateGraph publications between submit and run (the decomposition
   // build itself stays lazy until the job actually starts).
   std::shared_ptr<GraphVersion> version = entry->Current();
   state->snapshot = [entry, version] { return SnapshotOf(*entry, *version); };
-  entry->jobs_submitted.fetch_add(1, std::memory_order_relaxed);
 
-  queue_.Submit([state] { RunJob(state); });
+  Status queued = blocking ? queue_.Submit([state] { RunJob(state); })
+                           : queue_.TrySubmit([state] { RunJob(state); });
+  if (!queued.ok()) return queued;  // saturated (TrySubmit) or shut down
+  entry->jobs_submitted.fetch_add(1, std::memory_order_relaxed);
   return JobHandle(state);
 }
 
@@ -347,7 +455,7 @@ StatusOr<std::unique_ptr<AtrEngine>> AtrService::CheckoutSession(
 
 void AtrService::RunJob(const std::shared_ptr<internal::JobState>& state) {
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    std::unique_lock<std::mutex> lock(state->mu);
     if (state->cancel.load(std::memory_order_relaxed)) {
       state->state = JobHandle::State::kCancelled;
       state->result = StatusOr<SolveResult>(Status::Cancelled(
@@ -356,7 +464,12 @@ void AtrService::RunJob(const std::shared_ptr<internal::JobState>& state) {
       state->snapshot = nullptr;
       state->solver.reset();
       state->options = SolverOptions();
+      std::function<void()> done = std::move(state->on_done);
+      state->on_done = nullptr;
       state->cv.notify_all();
+      lock.unlock();
+      // Outside the lock: the hook may call JobHandle methods.
+      if (done) done();
       return;
     }
     state->state = JobHandle::State::kRunning;
@@ -401,6 +514,7 @@ void AtrService::RunJob(const std::shared_ptr<internal::JobState>& state) {
   };
 
   StatusOr<SolveResult> result = state->solver->Solve(context, effective);
+  std::function<void()> done;
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->result = std::move(result);
@@ -410,8 +524,13 @@ void AtrService::RunJob(const std::shared_ptr<internal::JobState>& state) {
     state->snapshot = nullptr;
     state->solver.reset();
     state->options = SolverOptions();
+    done = std::move(state->on_done);
+    state->on_done = nullptr;
     state->cv.notify_all();
   }
+  // Outside the lock: the hook may call JobHandle methods (TryGet sees the
+  // result — it was published above).
+  if (done) done();
 }
 
 }  // namespace atr

@@ -162,6 +162,20 @@ class AtrService {
   Status AddGraph(const std::string& name, Graph graph);
   Status AddGraph(const std::string& name, std::shared_ptr<const Graph> graph);
 
+  // Restore path (src/persist/): registers `name` at `version` with a
+  // decomposition that was already computed in a previous process life.
+  // The version is born built — decomposition_builds stays 0, and the
+  // acceptance tests assert a restarted server serves its whole catalog
+  // without a single rebuild. `delta_chain_length` seeds the compaction
+  // counter (deltas replayed on top of the restored base add to it).
+  // Fails with kFailedPrecondition when the name is taken and
+  // kInvalidArgument when the decomposition's shape does not match the
+  // graph's edge count.
+  Status RestoreGraph(const std::string& name,
+                      std::shared_ptr<const Graph> graph,
+                      TrussDecomposition decomposition, uint64_t version,
+                      uint64_t delta_chain_length = 0);
+
   // Unlists `name`. Jobs and checkouts in flight keep the snapshot alive;
   // new Submits against the name fail with kNotFound.
   Status RemoveGraph(const std::string& name);
@@ -185,6 +199,25 @@ class AtrService {
   StatusOr<GraphSnapshot> UpdateGraph(const std::string& name,
                                       const GraphDelta& delta);
 
+  // Durability hook: when set, UpdateGraph invokes the listener AFTER the
+  // next version is fully materialized but BEFORE it is published — i.e.
+  // write-ahead semantics: a listener failure aborts the update (the error
+  // is returned, the current version stays), so a version is never served
+  // that the log does not cover. Invoked under the per-graph update lock,
+  // so calls for one graph arrive in version order, exactly once each.
+  // The persistence layer (persist/catalog.h) appends the delta record
+  // here. Pass nullptr to clear.
+  using UpdateListener = std::function<Status(
+      const std::string& name, uint64_t new_version, const GraphDelta& delta)>;
+  void SetUpdateListener(UpdateListener listener);
+
+  // Compaction hook (persist/catalog.h): resets the delta-chain counter
+  // after the chain was folded into a fresh base snapshot, so
+  // GraphInfo::delta_chain_length reports the deltas since the LAST base,
+  // not since AddGraph. Without compaction the chain grows without bound —
+  // the counter is how operators (and the regression tests) see it.
+  Status ResetDeltaChain(const std::string& name);
+
   struct GraphInfo {
     std::string name;
     // Counts of the CURRENT version's topology.
@@ -198,9 +231,14 @@ class AtrService {
     // max_trussness of the current snapshot; 0 while it is unbuilt.
     uint32_t max_trussness = 0;
     // Current snapshot version (1 = the AddGraph snapshot) and the number
-    // of UpdateGraph publications (== version - 1).
+    // of UpdateGraph publications since this process registered the graph
+    // (== version - version_at_registration).
     uint64_t version = 1;
     uint64_t delta_updates = 0;
+    // Deltas accumulated since the last base snapshot (ResetDeltaChain).
+    // Grows with every UpdateGraph; compaction folds the chain into a new
+    // base and resets it. Unbounded growth here means nobody compacts.
+    uint64_t delta_chain_length = 0;
     uint64_t jobs_submitted = 0;
   };
   StatusOr<GraphInfo> Info(const std::string& name) const;
@@ -217,6 +255,30 @@ class AtrService {
                              const std::string& solver_name,
                              const SolverOptions& options);
 
+  // Submit with a completion hook: `done` is invoked exactly once, from
+  // the worker thread, after the job's result became observable (Wait/
+  // TryGet return it). A job cancelled before running still invokes it.
+  // The networked front end uses this to push Wait responses instead of
+  // blocking a thread per pending job.
+  StatusOr<JobHandle> Submit(const std::string& graph_name,
+                             const std::string& solver_name,
+                             const SolverOptions& options,
+                             std::function<void()> done);
+
+  // Non-blocking admission-controlled Submit: where Submit would block on
+  // a full pending queue, this rejects with kResourceExhausted (the
+  // server layer turns that into a structured retry-after response).
+  StatusOr<JobHandle> TrySubmit(const std::string& graph_name,
+                                const std::string& solver_name,
+                                const SolverOptions& options,
+                                std::function<void()> done = nullptr);
+
+  // Pending + running jobs / pending-queue capacity / worker count —
+  // the load signals behind the server's retry-after estimate.
+  size_t QueueLoad() const { return queue_.Load(); }
+  size_t QueueCapacity() const { return queue_.capacity(); }
+  int Workers() const { return queue_.workers(); }
+
   // Blocks until every job submitted so far has finished.
   void Drain();
 
@@ -232,6 +294,14 @@ class AtrService {
   struct GraphVersion;
   struct CatalogEntry;
 
+  // Shared Submit/TrySubmit implementation; `blocking` picks the queue
+  // entry point (blocking backpressure vs kResourceExhausted reject).
+  StatusOr<JobHandle> SubmitInternal(const std::string& graph_name,
+                                     const std::string& solver_name,
+                                     const SolverOptions& options,
+                                     std::function<void()> done,
+                                     bool blocking);
+
   // The entry for `name`, or nullptr (caller turns that into kNotFound).
   std::shared_ptr<CatalogEntry> FindEntry(const std::string& name) const;
 
@@ -241,9 +311,10 @@ class AtrService {
 
   static void RunJob(const std::shared_ptr<internal::JobState>& state);
 
-  mutable std::mutex mu_;  // guards catalog_ and next_job_id_
+  mutable std::mutex mu_;  // guards catalog_, next_job_id_, update_listener_
   std::map<std::string, std::shared_ptr<CatalogEntry>> catalog_;
   JobId next_job_id_ = 1;
+  std::shared_ptr<const UpdateListener> update_listener_;
 
   // Last member: destroyed (drained + joined) before the catalog, so
   // running jobs never outlive the state they reference.

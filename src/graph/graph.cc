@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <string>
 
 namespace atr {
 namespace {
@@ -148,6 +149,53 @@ StatusOr<GraphEditResult> Graph::ApplyEdits(
   }
   result.graph = FromSortedEdges(new_n, std::move(merged));
   return result;
+}
+
+void Graph::SerializeTo(ByteWriter& writer) const {
+  writer.WriteU32(num_vertices_);
+  writer.WriteU32(static_cast<uint32_t>(edges_.size()));
+  for (const EdgeEndpoints& e : edges_) {
+    writer.WriteU32(e.u);
+    writer.WriteU32(e.v);
+  }
+}
+
+StatusOr<Graph> Graph::DeserializeFrom(ByteReader& reader) {
+  uint32_t n = 0;
+  uint32_t m = 0;
+  if (!reader.ReadU32(&n) || !reader.ReadU32(&m)) {
+    return Status::InvalidArgument("Graph::Deserialize: truncated header");
+  }
+  if (n >= kInvalidVertex) {
+    return Status::InvalidArgument(
+        "Graph::Deserialize: vertex count overflows the VertexId space");
+  }
+  // 8 bytes per edge must still be present; checking before the resize
+  // keeps a hostile edge count from driving a huge allocation.
+  if (reader.remaining() / 8 < m) {
+    return Status::InvalidArgument("Graph::Deserialize: truncated edge list");
+  }
+  std::vector<EdgeEndpoints> edges(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    reader.ReadU32(&edges[e].u);
+    reader.ReadU32(&edges[e].v);
+  }
+  ATR_CHECK(reader.ok());
+  for (EdgeId e = 0; e < m; ++e) {
+    const EdgeEndpoints ends = edges[e];
+    if (ends.u >= ends.v || ends.v >= n) {
+      return Status::InvalidArgument(
+          "Graph::Deserialize: edge " + std::to_string(e) +
+          " is not normalized (u < v) or exceeds the vertex count");
+    }
+    if (e > 0 && !EndpointsPrecede(edges[e - 1], ends)) {
+      return Status::InvalidArgument(
+          "Graph::Deserialize: edge list is not sorted / duplicate-free at "
+          "edge " +
+          std::to_string(e));
+    }
+  }
+  return FromSortedEdges(n, std::move(edges));
 }
 
 void GraphBuilder::AddEdge(VertexId u, VertexId v) {

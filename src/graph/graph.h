@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "util/binary_io.h"
 #include "util/macros.h"
 #include "util/status.h"
 
@@ -119,6 +120,19 @@ class Graph {
   StatusOr<GraphEditResult> ApplyEdits(
       const std::vector<EdgeEndpoints>& adds,
       const std::vector<EdgeEndpoints>& removes) const;
+
+  // --- Binary serialization (src/persist/ snapshot files) -----------------
+  // Appends the topology to `writer`: vertex count, then the edge list in
+  // edge-id order. Edge ids are part of the contract — Deserialize
+  // reconstructs a graph whose edge ids (and therefore any per-edge state
+  // indexed by them, e.g. a truss decomposition) match this graph exactly.
+  void SerializeTo(ByteWriter& writer) const;
+
+  // Mirror of SerializeTo. Fails with kInvalidArgument on truncated input
+  // or an edge list that is not normalized (u < v, sorted by (u, v),
+  // duplicate-free, endpoints < vertex count) — this is the validation
+  // boundary for untrusted snapshot bytes, so it must never abort.
+  static StatusOr<Graph> DeserializeFrom(ByteReader& reader);
 
  private:
   friend class GraphBuilder;

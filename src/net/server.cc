@@ -1,0 +1,628 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace atr {
+namespace net {
+namespace {
+
+// Best-effort request id for error responses to frames that failed to
+// decode: every payload is supposed to lead with it.
+uint64_t PeekRequestId(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  uint64_t id = 0;
+  reader.ReadU64(&id);
+  return id;
+}
+
+}  // namespace
+
+// Per-connection state; lives on the network thread only.
+struct AtrServer::Connection {
+  int id = 0;
+  int fd = -1;
+  FrameParser parser;
+  std::vector<uint8_t> out;  // bytes [out_offset, size) still unsent
+  size_t out_offset = 0;
+  bool closing = false;  // flush what is queued, then close
+
+  bool HasPendingOutput() const { return out_offset < out.size(); }
+};
+
+struct AtrServer::JobRecord {
+  JobHandle handle;
+  bool done = false;
+  // Wait requests parked until the job finishes: (connection id,
+  // request id) pairs, answered by ProcessCompletedJobs.
+  std::vector<std::pair<int, uint64_t>> waiters;
+};
+
+// Bridges the submit path and the job-completion callback: the callback
+// can fire on a worker thread before TrySubmit has even returned the job
+// id to the submitting (network) thread, so both sides rendezvous here.
+struct AtrServer::SubmitToken {
+  std::mutex mu;
+  uint64_t job_id = 0;
+  bool fired = false;
+};
+
+AtrServer::AtrServer(Options options) : options_(std::move(options)) {}
+
+AtrServer::~AtrServer() {
+  if (started_ && !stopped_) Stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+Status AtrServer::Start() {
+  if (started_) return Status::FailedPrecondition("AtrServer: already started");
+
+  AtrService::Options service_options;
+  service_options.workers = options_.workers;
+  service_options.queue_capacity = options_.queue_capacity;
+  service_ = std::make_unique<AtrService>(service_options);
+
+  if (!options_.data_dir.empty()) {
+    persist::PersistentCatalog::Options catalog_options;
+    catalog_options.root_dir = options_.data_dir;
+    catalog_options.compact_threshold = options_.compact_threshold;
+    catalog_ =
+        std::make_unique<persist::PersistentCatalog>(*service_, catalog_options);
+    if (Status s = catalog_->Open(); !s.ok()) return s;
+  }
+
+  if (Status s = OpenListener(); !s.ok()) return s;
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return Status::Internal(std::string("AtrServer: pipe2 failed: ") +
+                            std::strerror(errno));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+
+  started_ = true;
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+Status AtrServer::OpenListener() {
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("AtrServer: socket failed: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("AtrServer: bad host address " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Internal("AtrServer: bind to " + options_.host + ":" +
+                            std::to_string(options_.port) +
+                            " failed: " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::Internal(std::string("AtrServer: listen failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::Internal(std::string("AtrServer: getsockname failed: ") +
+                            std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::Ok();
+}
+
+Status AtrServer::AddGraph(const std::string& name, Graph graph) {
+  if (service_ == nullptr) {
+    return Status::FailedPrecondition("AtrServer: Start before AddGraph");
+  }
+  if (catalog_ != nullptr) return catalog_->AddGraph(name, std::move(graph));
+  return service_->AddGraph(name, std::move(graph));
+}
+
+void AtrServer::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const uint8_t byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void AtrServer::Join() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+Status AtrServer::Stop() {
+  if (!started_ || stopped_) return Status::Ok();
+  RequestStop();
+  Join();
+  service_->Drain();
+  stopped_ = true;
+  if (catalog_ != nullptr) return catalog_->PersistAll();
+  return Status::Ok();
+}
+
+Status AtrServer::StopWithoutPersist() {
+  if (!started_ || stopped_) return Status::Ok();
+  RequestStop();
+  Join();
+  service_->Drain();
+  stopped_ = true;  // no PersistAll: restore must come from base ⊕ log
+  return Status::Ok();
+}
+
+// --- Network loop ---------------------------------------------------------
+
+void AtrServer::Loop() {
+  std::vector<pollfd> fds;
+  std::vector<int> polled_ids;  // connection id behind fds[2 + i]
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    polled_ids.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    for (auto& [id, conn] : connections_) {
+      short events = POLLIN;
+      if (conn->HasPendingOutput()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+      polled_ids.push_back(id);
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/500);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll broken beyond repair; shut the loop down
+    }
+
+    if (fds[1].revents & POLLIN) {
+      uint8_t drain[256];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    ProcessCompletedJobs();
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd =
+            ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;  // EAGAIN or transient accept failure
+        auto conn = std::make_unique<Connection>();
+        conn->id = next_connection_id_++;
+        conn->fd = fd;
+        connections_[conn->id] = std::move(conn);
+      }
+    }
+
+    // Connections accepted above were not in this poll round; only the
+    // ids snapshotted into polled_ids have meaningful revents.
+    std::vector<int> dead;
+    for (size_t i = 0; i < polled_ids.size(); ++i) {
+      auto it = connections_.find(polled_ids[i]);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      const pollfd& pfd = fds[2 + i];
+      bool alive = true;
+      if (pfd.revents & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (pfd.revents & (POLLIN | POLLHUP))) {
+        alive = ReadFromConnection(conn);
+      }
+      if (alive && (pfd.revents & POLLOUT)) alive = WriteToConnection(conn);
+      if (alive && conn.closing && !conn.HasPendingOutput()) alive = false;
+      if (!alive) dead.push_back(polled_ids[i]);
+    }
+    for (const int id : dead) {
+      ::close(connections_[id]->fd);
+      connections_.erase(id);
+    }
+  }
+
+  // Drain phase: give queued responses (e.g. the ShutdownResponse that
+  // triggered this exit) a bounded chance to flush, then close everything.
+  for (int round = 0; round < 100; ++round) {
+    bool pending = false;
+    for (auto& [id, conn] : connections_) {
+      if (conn->HasPendingOutput()) {
+        WriteToConnection(*conn);
+        if (conn->HasPendingOutput()) pending = true;
+      }
+    }
+    if (!pending) break;
+    ::poll(nullptr, 0, 10);
+  }
+  for (auto& [id, conn] : connections_) ::close(conn->fd);
+  connections_.clear();
+}
+
+bool AtrServer::ReadFromConnection(Connection& conn) {
+  uint8_t chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.parser.Feed(chunk, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  while (std::optional<Frame> frame = conn.parser.Next()) {
+    DispatchFrame(conn, *frame);
+  }
+  // A poisoned parser (oversize frame) means the stream is garbage;
+  // protocol violations cost the connection.
+  return conn.parser.ok();
+}
+
+bool AtrServer::WriteToConnection(Connection& conn) {
+  while (conn.HasPendingOutput()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_offset,
+               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+  return true;
+}
+
+void AtrServer::QueueFrame(Connection& conn, std::vector<uint8_t> frame) {
+  if (conn.out_offset == conn.out.size()) {
+    conn.out = std::move(frame);
+    conn.out_offset = 0;
+  } else {
+    conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  }
+}
+
+void AtrServer::SendError(Connection& conn, uint64_t request_id,
+                          const Status& status, uint32_t retry_after_ms) {
+  ErrorResponse error;
+  error.request_id = request_id;
+  error.code = status.code();
+  error.message = status.message();
+  error.retry_after_ms = retry_after_ms;
+  QueueFrame(conn, error.EncodeFrame());
+}
+
+uint32_t AtrServer::RetryAfterMs() const {
+  // Scale the base hint by how deep the pending queue is relative to the
+  // worker pool: a barely-full queue suggests a short wait, a queue many
+  // jobs deep per worker suggests a longer one.
+  const size_t load = service_->QueueLoad();
+  const size_t workers = std::max(1, service_->Workers());
+  const uint64_t scaled =
+      uint64_t(options_.retry_after_base_ms) * (1 + load / workers);
+  return static_cast<uint32_t>(std::min<uint64_t>(scaled, 10'000));
+}
+
+void AtrServer::DispatchFrame(Connection& conn, const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kPing: {
+      StatusOr<PingRequest> request = PingRequest::Decode(frame.payload);
+      if (!request.ok()) {
+        SendError(conn, PeekRequestId(frame.payload), request.status());
+        return;
+      }
+      PingResponse response;
+      response.request_id = request->request_id;
+      QueueFrame(conn, response.EncodeFrame());
+      return;
+    }
+    case MsgType::kListGraphs: {
+      StatusOr<ListGraphsRequest> request =
+          ListGraphsRequest::Decode(frame.payload);
+      if (!request.ok()) {
+        SendError(conn, PeekRequestId(frame.payload), request.status());
+        return;
+      }
+      ListGraphsResponse response;
+      response.request_id = request->request_id;
+      response.names = service_->GraphNames();
+      QueueFrame(conn, response.EncodeFrame());
+      return;
+    }
+    case MsgType::kInfo: {
+      StatusOr<InfoRequest> request = InfoRequest::Decode(frame.payload);
+      if (!request.ok()) {
+        SendError(conn, PeekRequestId(frame.payload), request.status());
+        return;
+      }
+      StatusOr<AtrService::GraphInfo> info = service_->Info(request->graph);
+      if (!info.ok()) {
+        SendError(conn, request->request_id, info.status());
+        return;
+      }
+      InfoResponse response;
+      response.request_id = request->request_id;
+      response.info = *std::move(info);
+      QueueFrame(conn, response.EncodeFrame());
+      return;
+    }
+    case MsgType::kSubmit: {
+      StatusOr<SubmitRequest> request = SubmitRequest::Decode(frame.payload);
+      if (!request.ok()) {
+        SendError(conn, PeekRequestId(frame.payload), request.status());
+        return;
+      }
+      HandleSubmit(conn, *request);
+      return;
+    }
+    case MsgType::kWait: {
+      StatusOr<WaitRequest> request = WaitRequest::Decode(frame.payload);
+      if (!request.ok()) {
+        SendError(conn, PeekRequestId(frame.payload), request.status());
+        return;
+      }
+      HandleWait(conn, *request);
+      return;
+    }
+    case MsgType::kCancel: {
+      StatusOr<CancelRequest> request = CancelRequest::Decode(frame.payload);
+      if (!request.ok()) {
+        SendError(conn, PeekRequestId(frame.payload), request.status());
+        return;
+      }
+      HandleCancel(conn, *request);
+      return;
+    }
+    case MsgType::kUpdateGraph: {
+      StatusOr<UpdateGraphRequest> request =
+          UpdateGraphRequest::Decode(frame.payload);
+      if (!request.ok()) {
+        SendError(conn, PeekRequestId(frame.payload), request.status());
+        return;
+      }
+      HandleUpdateGraph(conn, *request);
+      return;
+    }
+    case MsgType::kCompact: {
+      StatusOr<CompactRequest> request = CompactRequest::Decode(frame.payload);
+      if (!request.ok()) {
+        SendError(conn, PeekRequestId(frame.payload), request.status());
+        return;
+      }
+      HandleCompact(conn, *request);
+      return;
+    }
+    case MsgType::kShutdown: {
+      StatusOr<ShutdownRequest> request =
+          ShutdownRequest::Decode(frame.payload);
+      if (!request.ok()) {
+        SendError(conn, PeekRequestId(frame.payload), request.status());
+        return;
+      }
+      ShutdownResponse response;
+      response.request_id = request->request_id;
+      QueueFrame(conn, response.EncodeFrame());
+      conn.closing = true;
+      stop_requested_.store(true, std::memory_order_release);
+      return;
+    }
+    default:
+      SendError(conn, PeekRequestId(frame.payload),
+                Status::InvalidArgument(
+                    std::string("unexpected frame type ") +
+                    MsgTypeName(frame.type) + " on the server side"));
+      return;
+  }
+}
+
+void AtrServer::HandleSubmit(Connection& conn, const SubmitRequest& request) {
+  auto token = std::make_shared<SubmitToken>();
+  auto done = [this, token] {
+    uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(token->mu);
+      if (token->job_id == 0) {
+        // Fired before the submitting thread learned the job id; it will
+        // deliver the notification itself.
+        token->fired = true;
+        return;
+      }
+      id = token->job_id;
+    }
+    NotifyJobDone(id);
+  };
+
+  StatusOr<JobHandle> handle = service_->TrySubmit(
+      request.graph, request.solver, request.options.ToSolverOptions(), done);
+  if (!handle.ok()) {
+    const bool saturated =
+        handle.status().code() == StatusCode::kResourceExhausted;
+    SendError(conn, request.request_id, handle.status(),
+              saturated ? RetryAfterMs() : 0);
+    return;
+  }
+
+  const uint64_t job_id = handle->id();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_[job_id].handle = *handle;
+  }
+  bool already_fired = false;
+  {
+    std::lock_guard<std::mutex> lock(token->mu);
+    token->job_id = job_id;
+    already_fired = token->fired;
+  }
+  if (already_fired) NotifyJobDone(job_id);
+
+  SubmitResponse response;
+  response.request_id = request.request_id;
+  response.job_id = job_id;
+  QueueFrame(conn, response.EncodeFrame());
+}
+
+std::vector<uint8_t> AtrServer::FinishedJobFrame(uint64_t request_id,
+                                                 JobRecord& job) {
+  std::optional<StatusOr<SolveResult>> result = job.handle.TryGet();
+  if (!result.has_value()) {
+    ErrorResponse error;
+    error.request_id = request_id;
+    error.code = StatusCode::kInternal;
+    error.message = "job marked done but its result is not available";
+    return error.EncodeFrame();
+  }
+  if (!result->ok()) {
+    ErrorResponse error;
+    error.request_id = request_id;
+    error.code = result->status().code();
+    error.message = result->status().message();
+    return error.EncodeFrame();
+  }
+  WaitResponse response;
+  response.request_id = request_id;
+  response.job_id = job.handle.id();
+  response.result = WireSolveResult::FromSolveResult(**result);
+  return response.EncodeFrame();
+}
+
+void AtrServer::HandleWait(Connection& conn, const WaitRequest& request) {
+  std::vector<uint8_t> frame;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(request.job_id);
+    if (it == jobs_.end()) {
+      SendError(conn, request.request_id,
+                Status::NotFound("unknown job id " +
+                                 std::to_string(request.job_id)));
+      return;
+    }
+    if (!it->second.done) {
+      it->second.waiters.emplace_back(conn.id, request.request_id);
+      return;  // answered by ProcessCompletedJobs when the job finishes
+    }
+    frame = FinishedJobFrame(request.request_id, it->second);
+  }
+  QueueFrame(conn, std::move(frame));
+}
+
+void AtrServer::HandleCancel(Connection& conn, const CancelRequest& request) {
+  JobHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(request.job_id);
+    if (it == jobs_.end()) {
+      SendError(conn, request.request_id,
+                Status::NotFound("unknown job id " +
+                                 std::to_string(request.job_id)));
+      return;
+    }
+    handle = it->second.handle;
+  }
+  CancelResponse response;
+  response.request_id = request.request_id;
+  response.cancelled = handle.Cancel();
+  QueueFrame(conn, response.EncodeFrame());
+}
+
+void AtrServer::HandleUpdateGraph(Connection& conn,
+                                  const UpdateGraphRequest& request) {
+  StatusOr<GraphSnapshot> snapshot =
+      catalog_ != nullptr ? catalog_->UpdateGraph(request.graph, request.delta)
+                          : service_->UpdateGraph(request.graph, request.delta);
+  if (!snapshot.ok()) {
+    SendError(conn, request.request_id, snapshot.status());
+    return;
+  }
+  UpdateGraphResponse response;
+  response.request_id = request.request_id;
+  response.version = snapshot->version;
+  response.num_vertices = snapshot->graph->NumVertices();
+  response.num_edges = snapshot->graph->NumEdges();
+  QueueFrame(conn, response.EncodeFrame());
+}
+
+void AtrServer::HandleCompact(Connection& conn,
+                              const CompactRequest& request) {
+  if (catalog_ == nullptr) {
+    SendError(conn, request.request_id,
+              Status::FailedPrecondition(
+                  "server is running without persistence (no data_dir)"));
+    return;
+  }
+  if (Status s = catalog_->Compact(request.graph); !s.ok()) {
+    SendError(conn, request.request_id, s);
+    return;
+  }
+  CompactResponse response;
+  response.request_id = request.request_id;
+  QueueFrame(conn, response.EncodeFrame());
+}
+
+void AtrServer::NotifyJobDone(uint64_t job_id) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    completed_.push_back(job_id);
+  }
+  if (wake_write_fd_ >= 0) {
+    const uint8_t byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void AtrServer::ProcessCompletedJobs() {
+  // (connection id, encoded frame) pairs built under the lock, queued
+  // after it — connections_ belongs to this (network) thread anyway.
+  std::vector<std::pair<int, std::vector<uint8_t>>> deliveries;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    std::vector<uint64_t> completed = std::move(completed_);
+    completed_.clear();
+    for (const uint64_t job_id : completed) {
+      auto it = jobs_.find(job_id);
+      if (it == jobs_.end()) continue;
+      it->second.done = true;
+      for (const auto& [conn_id, request_id] : it->second.waiters) {
+        deliveries.emplace_back(conn_id,
+                                FinishedJobFrame(request_id, it->second));
+      }
+      it->second.waiters.clear();
+      finished_fifo_.push_back(job_id);
+    }
+    while (finished_fifo_.size() > options_.finished_jobs_cap) {
+      jobs_.erase(finished_fifo_.front());
+      finished_fifo_.erase(finished_fifo_.begin());
+    }
+  }
+  for (auto& [conn_id, frame] : deliveries) {
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) continue;  // waiter hung up; drop it
+    QueueFrame(*it->second, std::move(frame));
+  }
+}
+
+}  // namespace net
+}  // namespace atr

@@ -1,0 +1,172 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/binary_io.h"
+
+namespace atr {
+namespace persist {
+
+std::vector<uint8_t> EncodeSnapshot(const std::string& graph_name,
+                                    uint64_t version, const Graph& graph,
+                                    const TrussDecomposition& decomposition) {
+  ByteWriter payload;
+  payload.WriteString(graph_name);
+  payload.WriteU64(version);
+  graph.SerializeTo(payload);
+  SerializeTrussDecomposition(decomposition, payload);
+
+  ByteWriter out;
+  out.WriteU32(kSnapshotMagic);
+  out.WriteU32(kSnapshotFormatVersion);
+  out.WriteU32(Crc32(payload.buffer().data(), payload.size()));
+  out.WriteU32(static_cast<uint32_t>(payload.size()));
+  out.WriteBytes(payload.buffer().data(), payload.size());
+  return out.TakeBuffer();
+}
+
+StatusOr<SnapshotRecord> DecodeSnapshot(std::span<const uint8_t> bytes) {
+  ByteReader header(bytes.data(), bytes.size());
+  uint32_t magic = 0, format = 0, crc = 0, payload_len = 0;
+  if (!header.ReadU32(&magic) || !header.ReadU32(&format) ||
+      !header.ReadU32(&crc) || !header.ReadU32(&payload_len)) {
+    return Status::InvalidArgument("snapshot: truncated header");
+  }
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("snapshot: bad magic (not a snapshot file)");
+  }
+  if (format != kSnapshotFormatVersion) {
+    return Status::InvalidArgument("snapshot: unsupported format version " +
+                                   std::to_string(format));
+  }
+  if (header.remaining() != payload_len) {
+    return Status::InvalidArgument(
+        "snapshot: payload length mismatch (header says " +
+        std::to_string(payload_len) + ", file carries " +
+        std::to_string(header.remaining()) + ")");
+  }
+  const uint8_t* payload = bytes.data() + header.position();
+  if (Crc32(payload, payload_len) != crc) {
+    return Status::InvalidArgument("snapshot: payload checksum mismatch");
+  }
+
+  ByteReader reader(payload, payload_len);
+  SnapshotRecord record;
+  if (!reader.ReadString(&record.graph_name) ||
+      !reader.ReadU64(&record.version)) {
+    return Status::InvalidArgument("snapshot: truncated payload preamble");
+  }
+  if (record.version == 0) {
+    return Status::InvalidArgument("snapshot: version must be >= 1");
+  }
+  StatusOr<Graph> graph = Graph::DeserializeFrom(reader);
+  if (!graph.ok()) return graph.status();
+  record.graph = *std::move(graph);
+  StatusOr<TrussDecomposition> decomposition =
+      DeserializeTrussDecomposition(reader, record.graph.NumEdges());
+  if (!decomposition.ok()) return decomposition.status();
+  record.decomposition = *std::move(decomposition);
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("snapshot: trailing bytes after payload");
+  }
+  // Semantic validation: a base snapshot is a FULL anchor-free
+  // decomposition, so every edge carries a real trussness in
+  // [2, max_trussness] — the kTrussnessNotComputed / kAnchoredTrussness
+  // sentinels must not be injectable from disk (downstream code DCHECKs
+  // against them, and checks must come back as Status here, not aborts).
+  if (record.decomposition.max_trussness < 2 ||
+      record.decomposition.max_trussness == kAnchoredTrussness) {
+    return Status::InvalidArgument("snapshot: max_trussness out of range");
+  }
+  for (EdgeId e = 0; e < record.graph.NumEdges(); ++e) {
+    const uint32_t t = record.decomposition.trussness[e];
+    if (t < 2 || t > record.decomposition.max_trussness) {
+      return Status::InvalidArgument(
+          "snapshot: trussness of edge " + std::to_string(e) +
+          " is outside [2, max_trussness]");
+    }
+  }
+  return record;
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       std::span<const uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("WriteFileAtomic: open(" + tmp +
+                            ") failed: " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal("WriteFileAtomic: write(" + tmp +
+                              ") failed: " + std::strerror(err));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal("WriteFileAtomic: fsync/close(" + tmp +
+                            ") failed: " + std::strerror(err));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal("WriteFileAtomic: rename to " + path +
+                            " failed: " + std::strerror(err));
+  }
+  // Durability of the rename itself: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best-effort; some filesystems reject directory fsync
+    ::close(dfd);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("ReadFileBytes: " + path + " does not exist");
+    }
+    return Status::Internal("ReadFileBytes: open(" + path +
+                            ") failed: " + std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal("ReadFileBytes: read(" + path +
+                              ") failed: " + std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace persist
+}  // namespace atr

@@ -1,0 +1,81 @@
+// Base snapshot files: one graph version (CSR topology + its truss
+// decomposition) as a single checksummed, versioned binary blob.
+//
+// A snapshot is the "base" of a graph's durable state; deltas appended
+// after it live in the per-graph delta log (persist/delta_log.h), and
+// compaction folds log + base into a fresh snapshot (persist/catalog.h).
+// Restoring a snapshot hands back the EXACT decomposition bytes that were
+// saved — a restarted server serves the catalog with zero recomputation.
+//
+// On-disk layout (all little-endian, see docs/PROTOCOL.md):
+//
+//   u32 magic            "ATRS" (0x53525441)
+//   u32 format_version   1
+//   u32 payload_crc32    CRC-32 (IEEE) of the payload bytes
+//   u32 payload_len      payload size in bytes
+//   payload:
+//     string graph_name  (u32 length + bytes)
+//     u64    version     snapshot version (AtrService version counter)
+//     graph              Graph::SerializeTo
+//     decomposition      SerializeTrussDecomposition
+//
+// Decoding is a hard validation boundary: snapshot files can arrive
+// truncated (crash mid-write is prevented by write-temp-then-rename, but
+// disks and operators do worse things) or corrupt, and every failure mode
+// must come back as a Status, never a crash. The fuzz harness
+// (fuzz/fuzz_persist.cc) drives arbitrary bytes through DecodeSnapshot.
+
+#ifndef ATR_PERSIST_SNAPSHOT_H_
+#define ATR_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "truss/decomposition.h"
+#include "util/status.h"
+
+namespace atr {
+namespace persist {
+
+inline constexpr uint32_t kSnapshotMagic = 0x53525441u;  // "ATRS"
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+// One decoded snapshot: a graph version and its decomposition, exactly as
+// saved.
+struct SnapshotRecord {
+  std::string graph_name;
+  uint64_t version = 1;
+  Graph graph;
+  TrussDecomposition decomposition;
+};
+
+// Serializes a snapshot blob (header + checksummed payload).
+std::vector<uint8_t> EncodeSnapshot(const std::string& graph_name,
+                                    uint64_t version, const Graph& graph,
+                                    const TrussDecomposition& decomposition);
+
+// Decodes and fully validates a snapshot blob: magic, format version,
+// length, checksum, then the graph and decomposition sections (including
+// the decomposition/graph shape cross-check). kInvalidArgument on any
+// mismatch.
+StatusOr<SnapshotRecord> DecodeSnapshot(std::span<const uint8_t> bytes);
+
+// --- Crash-safe file helpers ---------------------------------------------
+
+// Writes `bytes` to `path` via write-temp-then-rename: the temp file is
+// written and fsync'd, renamed over `path`, and the containing directory
+// fsync'd — readers see either the old file or the complete new one,
+// never a torn write.
+Status WriteFileAtomic(const std::string& path,
+                       std::span<const uint8_t> bytes);
+
+// Whole-file read. kNotFound when the file does not exist.
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+}  // namespace persist
+}  // namespace atr
+
+#endif  // ATR_PERSIST_SNAPSHOT_H_

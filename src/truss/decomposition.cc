@@ -181,6 +181,32 @@ std::vector<EdgeId> AliveSubsetOf(const TrussDecomposition& decomp) {
   return alive;
 }
 
+void SerializeTrussDecomposition(const TrussDecomposition& decomp,
+                                 ByteWriter& writer) {
+  ATR_CHECK(decomp.trussness.size() == decomp.layer.size());
+  writer.WriteU32(decomp.max_trussness);
+  writer.WriteU32Vector(decomp.trussness);
+  writer.WriteU32Vector(decomp.layer);
+}
+
+StatusOr<TrussDecomposition> DeserializeTrussDecomposition(
+    ByteReader& reader, uint32_t num_edges) {
+  TrussDecomposition decomp;
+  if (!reader.ReadU32(&decomp.max_trussness) ||
+      !reader.ReadU32Vector(&decomp.trussness) ||
+      !reader.ReadU32Vector(&decomp.layer)) {
+    return Status::InvalidArgument(
+        "TrussDecomposition::Deserialize: truncated input");
+  }
+  if (decomp.trussness.size() != num_edges ||
+      decomp.layer.size() != num_edges) {
+    return Status::InvalidArgument(
+        "TrussDecomposition::Deserialize: array lengths do not match the "
+        "graph's edge count");
+  }
+  return decomp;
+}
+
 std::vector<uint32_t> HullSizes(const TrussDecomposition& decomp) {
   std::vector<uint32_t> sizes(decomp.max_trussness + 1, 0);
   for (uint32_t t : decomp.trussness) {

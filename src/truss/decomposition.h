@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/binary_io.h"
+#include "util/status.h"
 
 namespace atr {
 
@@ -133,6 +135,21 @@ std::vector<uint32_t> HullSizes(const TrussDecomposition& decomp);
 // callers can branch between ComputeTrussDecomposition and the subset
 // variant without materializing the trivial subset.
 std::vector<EdgeId> AliveSubsetOf(const TrussDecomposition& decomp);
+
+// --- Binary serialization (src/persist/ snapshot files) -------------------
+// Appends `decomp` to `writer`: max_trussness, then the trussness and layer
+// arrays in edge-id order. The byte image is exact — a restored snapshot
+// serves the identical decomposition without recomputing anything.
+void SerializeTrussDecomposition(const TrussDecomposition& decomp,
+                                 ByteWriter& writer);
+
+// Mirror of SerializeTrussDecomposition. `num_edges` is the edge count of
+// the graph the decomposition belongs to (from the already-decoded graph
+// section); array lengths must match it exactly. Fails with
+// kInvalidArgument on truncation or mismatched lengths — untrusted-bytes
+// boundary, never aborts.
+StatusOr<TrussDecomposition> DeserializeTrussDecomposition(
+    ByteReader& reader, uint32_t num_edges);
 
 }  // namespace atr
 

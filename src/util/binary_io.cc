@@ -1,0 +1,33 @@
+#include "util/binary_io.h"
+
+namespace atr {
+namespace {
+
+// Table-driven CRC-32 (IEEE), table built once at first use.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace atr

@@ -22,6 +22,10 @@ enum class StatusCode {
   kFailedPrecondition = 3,
   kInternal = 4,
   kCancelled = 5,
+  // A bounded resource (the service's pending-job queue) is saturated; the
+  // caller should back off and retry. The networked front end maps this to
+  // a structured reject carrying a retry-after hint (docs/PROTOCOL.md).
+  kResourceExhausted = 6,
 };
 
 // Value-semantic error carrier. An engaged message is only present for
@@ -48,6 +52,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -57,6 +64,22 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+// Human-readable name of `code` ("kOk", "kNotFound", ...); "kUnknown(<n>)"
+// style fallback is not needed — unknown numeric codes arriving over the
+// wire are rejected at decode time.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "kOk";
+    case StatusCode::kInvalidArgument: return "kInvalidArgument";
+    case StatusCode::kNotFound: return "kNotFound";
+    case StatusCode::kFailedPrecondition: return "kFailedPrecondition";
+    case StatusCode::kInternal: return "kInternal";
+    case StatusCode::kCancelled: return "kCancelled";
+    case StatusCode::kResourceExhausted: return "kResourceExhausted";
+  }
+  return "kInternal";
+}
 
 // Holds either a value of type T or a non-OK Status. Accessing value() on an
 // errored StatusOr aborts (programming error).

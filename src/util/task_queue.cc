@@ -1,6 +1,7 @@
 #include "util/task_queue.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "util/macros.h"
@@ -34,24 +35,37 @@ TaskQueue::TaskQueue(const Options& options) {
 
 TaskQueue::~TaskQueue() { Shutdown(); }
 
-void TaskQueue::Submit(std::function<void()> task) {
+Status TaskQueue::Submit(std::function<void()> task) {
   ATR_CHECK_MSG(!t_pool_worker,
                 "TaskQueue::Submit called from a pool worker; a full queue "
                 "would deadlock the worker against itself");
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock,
                  [this] { return pending_.size() < capacity_ || shutdown_; });
-  ATR_CHECK_MSG(!shutdown_, "TaskQueue::Submit after Shutdown");
+  if (shutdown_) {
+    // Shutdown raced (or preceded) this Submit: the workers are draining or
+    // joined, so enqueueing would either run nothing or deadlock a blocked
+    // producer forever. Reject instead — the task is dropped untouched.
+    return Status::FailedPrecondition("TaskQueue::Submit after Shutdown");
+  }
   pending_.push_back(std::move(task));
   not_empty_.notify_one();
+  return Status::Ok();
 }
 
-bool TaskQueue::TrySubmit(std::function<void()> task) {
+Status TaskQueue::TrySubmit(std::function<void()> task) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (shutdown_ || pending_.size() >= capacity_) return false;
+  if (shutdown_) {
+    return Status::FailedPrecondition("TaskQueue::TrySubmit after Shutdown");
+  }
+  if (pending_.size() >= capacity_) {
+    return Status::ResourceExhausted(
+        "TaskQueue::TrySubmit: pending queue is at capacity (" +
+        std::to_string(capacity_) + ")");
+  }
   pending_.push_back(std::move(task));
   not_empty_.notify_one();
-  return true;
+  return Status::Ok();
 }
 
 void TaskQueue::WaitIdle() {
@@ -74,6 +88,16 @@ void TaskQueue::Shutdown() {
 uint64_t TaskQueue::tasks_executed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return executed_;
+}
+
+size_t TaskQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+size_t TaskQueue::Load() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size() + running_;
 }
 
 void TaskQueue::WorkerLoop() {

@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace atr {
 
 class TaskQueue {
@@ -56,14 +58,18 @@ class TaskQueue {
   TaskQueue(const TaskQueue&) = delete;
   TaskQueue& operator=(const TaskQueue&) = delete;
 
-  // Enqueues `task`; blocks while the pending queue is at capacity. Must
-  // not be called after Shutdown (CHECK) or from a pool worker (a full
-  // queue would deadlock the worker against itself).
-  void Submit(std::function<void()> task);
+  // Enqueues `task`; blocks while the pending queue is at capacity. A
+  // Submit after Shutdown (or one that was blocked on a full queue when
+  // Shutdown arrived) rejects with kFailedPrecondition instead of
+  // enqueueing — the task is dropped, never run, and no caller deadlocks
+  // against a pool that will not drain. Must not be called from a pool
+  // worker (CHECK: a full queue would deadlock the worker against itself).
+  Status Submit(std::function<void()> task);
 
-  // Non-blocking Submit: returns false (task untouched) when the queue is
-  // at capacity or shut down.
-  bool TrySubmit(std::function<void()> task);
+  // Non-blocking Submit: kResourceExhausted when the queue is at capacity
+  // (the admission-control signal the networked front end turns into a
+  // structured retry-after reject), kFailedPrecondition after Shutdown.
+  Status TrySubmit(std::function<void()> task);
 
   // Blocks until every task submitted so far has finished and the queue is
   // empty. Tasks submitted concurrently with WaitIdle may or may not be
@@ -80,6 +86,13 @@ class TaskQueue {
 
   // Total tasks that finished running (monotonic).
   uint64_t tasks_executed() const;
+
+  // Tasks waiting to run right now (excludes the ones already running).
+  // Racy by nature — admission-control heuristics only.
+  size_t pending() const;
+
+  // Pending plus running: the load signal behind retry-after estimates.
+  size_t Load() const;
 
  private:
   void WorkerLoop();

@@ -877,5 +877,154 @@ TEST(ServiceJobs, DrainWaitsForAllJobs) {
   for (JobHandle& job : jobs) EXPECT_TRUE(job.Done());
 }
 
+TEST(ServiceStreaming, DeltaChainLengthGrowsUntilReset) {
+  AtrService service;
+  const Graph g = MakeServiceGraph();
+  ASSERT_TRUE(service.AddGraph("g", g).ok());
+  EXPECT_EQ(service.Info("g")->delta_chain_length, 0u);
+
+  StatusOr<GraphSnapshot> v2 = service.UpdateGraph("g", MakeServiceDelta(g));
+  ASSERT_TRUE(v2.ok());
+  StatusOr<GraphSnapshot> v3 =
+      service.UpdateGraph("g", MakeServiceDelta(*v2->graph));
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(service.Info("g")->delta_chain_length, 2u);
+
+  // The compaction hook resets the chain counter, not the version.
+  ASSERT_TRUE(service.ResetDeltaChain("g").ok());
+  EXPECT_EQ(service.Info("g")->delta_chain_length, 0u);
+  EXPECT_EQ(service.Info("g")->version, 3u);
+
+  StatusOr<GraphSnapshot> v4 =
+      service.UpdateGraph("g", MakeServiceDelta(*v3->graph));
+  ASSERT_TRUE(v4.ok());
+  EXPECT_EQ(service.Info("g")->delta_chain_length, 1u);
+
+  EXPECT_EQ(service.ResetDeltaChain("absent").code(), StatusCode::kNotFound);
+}
+
+TEST(ServiceStreaming, UpdateListenerIsWriteAhead) {
+  AtrService service;
+  const Graph g = MakeServiceGraph();
+  ASSERT_TRUE(service.AddGraph("g", g).ok());
+
+  // A failing listener aborts the update: the version is never published.
+  std::vector<uint64_t> seen;
+  service.SetUpdateListener(
+      [&seen](const std::string&, uint64_t version, const GraphDelta&) {
+        seen.push_back(version);
+        return Status::Internal("log append failed");
+      });
+  StatusOr<GraphSnapshot> rejected =
+      service.UpdateGraph("g", MakeServiceDelta(g));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(seen, std::vector<uint64_t>{2});
+  EXPECT_EQ(service.Info("g")->version, 1u);
+  EXPECT_EQ(service.Info("g")->delta_chain_length, 0u);
+
+  // A succeeding listener observes the version about to be published.
+  service.SetUpdateListener(
+      [&seen](const std::string&, uint64_t version, const GraphDelta&) {
+        seen.push_back(version);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(service.UpdateGraph("g", MakeServiceDelta(g)).ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{2, 2}));
+  EXPECT_EQ(service.Info("g")->version, 2u);
+  service.SetUpdateListener(nullptr);
+}
+
+TEST(ServiceCatalog, RestoreGraphIsBornBuilt) {
+  const Graph g = MakeServiceGraph();
+  TrussDecomposition decomposition = ComputeTrussDecomposition(g);
+  const TrussDecomposition oracle = decomposition;
+
+  AtrService service;
+  ASSERT_TRUE(service
+                  .RestoreGraph("g", std::make_shared<const Graph>(g),
+                                std::move(decomposition), /*version=*/5,
+                                /*delta_chain_length=*/2)
+                  .ok());
+
+  StatusOr<AtrService::GraphInfo> info = service.Info("g");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, 5u);
+  EXPECT_EQ(info->delta_chain_length, 2u);
+  // The restore contract: the decomposition arrived precomputed, so the
+  // builds counter must never move — not on restore, not on first use.
+  EXPECT_EQ(info->decomposition_builds, 0u);
+
+  StatusOr<GraphSnapshot> snapshot = service.Snapshot("g");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->version, 5u);
+  EXPECT_EQ(snapshot->decomposition->trussness, oracle.trussness);
+  EXPECT_EQ(service.Info("g")->decomposition_builds, 0u);
+
+  // Updates on a restored graph seed incrementally, like any other.
+  ASSERT_TRUE(service.UpdateGraph("g", MakeServiceDelta(g)).ok());
+  EXPECT_EQ(service.Info("g")->version, 6u);
+  EXPECT_EQ(service.Info("g")->delta_chain_length, 3u);
+  EXPECT_EQ(service.Info("g")->decomposition_builds, 0u);
+
+  // Name collisions and shape mismatches are rejected up front.
+  EXPECT_EQ(service
+                .RestoreGraph("g", std::make_shared<const Graph>(g),
+                              ComputeTrussDecomposition(g), 1)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  TrussDecomposition wrong_shape = ComputeTrussDecomposition(g);
+  wrong_shape.trussness.pop_back();
+  EXPECT_EQ(service
+                .RestoreGraph("other", std::make_shared<const Graph>(g),
+                              std::move(wrong_shape), 1)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceJobs, TrySubmitRejectsOnlyWhileSaturated) {
+  AtrService::Options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  AtrService service(options);
+  ASSERT_TRUE(service.AddGraph("g", MakeServiceGraph()).ok());
+
+  // Park the lone worker inside a solve so the queue backs up.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  SolverOptions blocked;
+  blocked.budget = 2;
+  blocked.progress = [&](const SolveProgress&) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    return true;
+  };
+  StatusOr<JobHandle> running = service.Submit("g", "gas", blocked);
+  ASSERT_TRUE(running.ok());
+  while (running->state() == JobHandle::State::kQueued) {
+    std::this_thread::yield();
+  }
+
+  SolverOptions quick;
+  quick.budget = 1;
+  StatusOr<JobHandle> pending = service.TrySubmit("g", "gas", quick);
+  ASSERT_TRUE(pending.ok());  // fills the single pending slot
+  EXPECT_EQ(service.TrySubmit("g", "gas", quick).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.QueueLoad(), 2u);  // one running + one pending
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ASSERT_TRUE(running->Wait().ok());
+  ASSERT_TRUE(pending->Wait().ok());
+
+  StatusOr<JobHandle> after = service.TrySubmit("g", "gas", quick);
+  ASSERT_TRUE(after.ok());  // space again
+  EXPECT_TRUE(after->Wait().ok());
+}
+
 }  // namespace
 }  // namespace atr

@@ -283,17 +283,34 @@ TEST(TaskQueue, TrySubmitFailsOnlyWhileFull) {
 
   std::atomic<int> ran{0};
   auto count = [&ran] { ran.fetch_add(1, std::memory_order_relaxed); };
-  EXPECT_TRUE(queue.TrySubmit(count));    // fills the single pending slot
-  EXPECT_FALSE(queue.TrySubmit(count));   // at capacity
+  EXPECT_TRUE(queue.TrySubmit(count).ok());  // fills the single pending slot
+  EXPECT_EQ(queue.TrySubmit(count).code(),   // at capacity
+            StatusCode::kResourceExhausted);
   {
     std::lock_guard<std::mutex> lock(gate_mu);
     release = true;
     gate_cv.notify_all();
   }
   queue.WaitIdle();
-  EXPECT_TRUE(queue.TrySubmit(count));    // space again
+  EXPECT_TRUE(queue.TrySubmit(count).ok());  // space again
   queue.WaitIdle();
   EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(TaskQueue, SubmitAfterShutdownRejectsWithFailedPrecondition) {
+  TaskQueue::Options options;
+  options.workers = 1;
+  TaskQueue queue(options);
+  std::atomic<int> ran{0};
+  auto count = [&ran] { ran.fetch_add(1, std::memory_order_relaxed); };
+  EXPECT_TRUE(queue.Submit(count).ok());
+  queue.Shutdown();
+
+  // The pool will never drain a new task: both entry points must reject
+  // instead of silently dropping (or deadlocking a blocked producer).
+  EXPECT_EQ(queue.Submit(count).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(queue.TrySubmit(count).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ran.load(), 1);  // the pre-shutdown task ran, nothing else
 }
 
 TEST(TaskQueue, ComposesWithScopedParallelism) {
