@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diff fresh bench --json rows against a committed perf-trajectory file.
+
+Usage: bench_diff.py <committed.json> <fresh.json>
+
+Both inputs are line-delimited JSON objects as emitted by the benches'
+--json mode (bench/bench_common.h). Absolute times vary wildly across
+runners, so the diff checks SHAPE, not milliseconds:
+
+  * every committed (experiment, identity) row must still be produced —
+    a missing row means a bench silently stopped covering a case;
+  * every field present in the committed row must be present fresh;
+  * relative "speedup"-style fields must not collapse: a fresh value may
+    regress to no less than TOLERANCE x the committed value (default
+    0.5, override with BENCH_DIFF_TOLERANCE). Speedups are ratios of two
+    runs on the SAME machine, so they transfer across runners in a way
+    raw wall times never do. When both sides are deep in clearly-winning
+    territory (> CLEAR_WIN, default 10x) the ratio check is skipped —
+    4700x vs 1900x is runner noise on an incremental-vs-full ratio, while
+    4700x -> 1.1x still fails.
+
+Exit status 0 = clean, 1 = regression (rows printed to stderr).
+"""
+
+import json
+import os
+import sys
+
+# Fields whose values are same-machine ratios, comparable across hosts.
+SPEEDUP_FIELDS = ("speedup", "speedup_vs_serial")
+
+# Fields that identify a row within one experiment.
+IDENTITY_FIELDS = ("dataset", "config", "sweep_jobs", "threads")
+
+
+def load_rows(path):
+    rows = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line_number, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or not line.startswith("{"):
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                sys.exit(f"{path}:{line_number}: unparseable bench row: {error}")
+    return rows
+
+
+def row_key(row):
+    identity = tuple(
+        (field, row[field]) for field in IDENTITY_FIELDS if field in row
+    )
+    return (row.get("experiment", "?"), identity)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    committed_path, fresh_path = sys.argv[1], sys.argv[2]
+    tolerance = float(os.environ.get("BENCH_DIFF_TOLERANCE", "0.5"))
+
+    committed = {}
+    for row in load_rows(committed_path):
+        committed[row_key(row)] = row
+    fresh = {}
+    for row in load_rows(fresh_path):
+        fresh[row_key(row)] = row
+
+    failures = []
+    compared = 0
+    for key, old in committed.items():
+        experiment = key[0]
+        new = fresh.get(key)
+        if new is None:
+            # Only require rows for experiments the fresh run attempted at
+            # all: CI may run a subset of the benches.
+            if any(k[0] == experiment for k in fresh):
+                failures.append(f"missing row: {key}")
+            continue
+        missing = sorted(set(old) - set(new))
+        if missing:
+            failures.append(f"{key}: fields vanished: {missing}")
+        for field in SPEEDUP_FIELDS:
+            if field not in old or field not in new:
+                continue
+            compared += 1
+            clear_win = float(os.environ.get("BENCH_DIFF_CLEAR_WIN", "10"))
+            if float(old[field]) > clear_win and float(new[field]) > clear_win:
+                continue
+            floor = tolerance * float(old[field])
+            if float(new[field]) < floor:
+                failures.append(
+                    f"{key}: {field} regressed {old[field]} -> {new[field]}"
+                    f" (floor {floor:.3g} at tolerance {tolerance})"
+                )
+
+    if failures:
+        print("bench_diff: PERF REGRESSION", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"bench_diff: ok — {len(fresh)} fresh rows, {compared} speedup "
+        f"fields within {tolerance}x of {committed_path}"
+    )
+
+
+if __name__ == "__main__":
+    main()

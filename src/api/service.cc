@@ -1,12 +1,17 @@
 #include "api/service.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "api/registry.h"
+#include "core/exact.h"
 #include "truss/incremental.h"
+#include "util/parallel_for.h"
+#include "util/timer.h"
 
 namespace atr {
 namespace internal {
@@ -33,6 +38,54 @@ struct JobState {
   // published, invoked after the lock drops so it may call handle methods.
   std::function<void()> on_done;                        // guarded by mu
 };
+
+// Publishes `result` as the job's terminal state and fires the completion
+// hook outside the lock. Long-lived JobHandle copies must pin only the
+// result, not the graph snapshot, the solver, or the caller's closures.
+void PublishResult(const std::shared_ptr<JobState>& state,
+                   StatusOr<SolveResult> result, JobHandle::State terminal) {
+  std::function<void()> done;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(result);
+    state->state = terminal;
+    state->snapshot = nullptr;
+    state->solver.reset();
+    state->options = SolverOptions();
+    done = std::move(state->on_done);
+    state->on_done = nullptr;
+    state->cv.notify_all();
+  }
+  // Outside the lock: the hook may call JobHandle methods (TryGet sees the
+  // result — it was published above).
+  if (done) done();
+}
+
+void PublishCancelledBeforeStart(const std::shared_ptr<JobState>& state) {
+  PublishResult(
+      state,
+      StatusOr<SolveResult>(Status::Cancelled(
+          "job " + std::to_string(state->id) + " (" + state->solver_name +
+          " on \"" + state->graph_name + "\") cancelled before it started")),
+      JobHandle::State::kCancelled);
+}
+
+// Gains of the greedy prefixes at each checkpoint — must stay in lockstep
+// with the PrefixGains helper the GreedySolver adapter applies to a solo
+// run (api/solvers.cc), or fused results drift from the serial oracle.
+std::vector<uint64_t> GreedyPrefixGains(const std::vector<AnchorRound>& rounds,
+                                        const std::vector<uint32_t>& checkpoints) {
+  std::vector<uint64_t> gains;
+  gains.reserve(checkpoints.size());
+  for (uint32_t c : checkpoints) {
+    uint64_t gain = 0;
+    for (size_t r = 0; r < rounds.size() && r < c; ++r) {
+      gain += rounds[r].gain;
+    }
+    gains.push_back(gain);
+  }
+  return gains;
+}
 
 }  // namespace internal
 
@@ -141,11 +194,56 @@ struct AtrService::CatalogEntry {
   }
 };
 
-AtrService::AtrService(const Options& options)
-    : queue_(TaskQueue::Options{options.workers, options.queue_capacity,
-                                options.threads_per_job}) {}
+AtrService::AtrService(const Options& options) {
+  // Resolve the worker/capacity totals once (on the constructing thread,
+  // whose ParallelFor budget is the one the pools must share), then split
+  // them evenly across the shards.
+  const int machine = ParallelWorkerCount();
+  const int num_shards = std::max(1, options.shards);
+  const int total_workers =
+      options.workers > 0 ? options.workers : std::min(4, machine);
+  const size_t total_capacity = options.queue_capacity > 0
+                                    ? options.queue_capacity
+                                    : static_cast<size_t>(4 * total_workers);
+  FairScheduler::Options sched;
+  sched.workers = std::max(1, total_workers / num_shards);
+  sched.capacity = std::max<size_t>(
+      1, total_capacity / static_cast<size_t>(num_shards));
+  sched.threads_per_job = options.threads_per_job > 0
+                              ? options.threads_per_job
+                              : std::max(1, machine / total_workers);
+  sched.max_batch = std::max<size_t>(1, options.max_batch);
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // The runner is stateless (payloads carry everything), so a shard
+    // never dangles a reference to the service during teardown.
+    shard->scheduler = std::make_unique<FairScheduler>(
+        sched,
+        [](std::vector<FairScheduler::Job> batch) {
+          RunBatch(std::move(batch));
+        });
+    shards_.push_back(std::move(shard));
+  }
+}
 
 AtrService::~AtrService() = default;
+
+AtrService::Shard& AtrService::ShardFor(const std::string& name) const {
+  return *shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+Status AtrService::InsertEntry(const std::string& name, const char* what,
+                               std::shared_ptr<CatalogEntry> entry) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const bool inserted = shard.catalog.emplace(name, std::move(entry)).second;
+  if (!inserted) {
+    return Status::FailedPrecondition(std::string(what) + ": graph \"" + name +
+                                      "\" is already registered");
+  }
+  return Status::Ok();
+}
 
 Status AtrService::AddGraph(const std::string& name, Graph graph) {
   return AddGraph(name, std::make_shared<const Graph>(std::move(graph)));
@@ -159,13 +257,7 @@ Status AtrService::AddGraph(const std::string& name,
   auto entry = std::make_shared<CatalogEntry>();
   entry->current = std::make_shared<GraphVersion>();
   entry->current->graph = std::move(graph);
-  std::lock_guard<std::mutex> lock(mu_);
-  const bool inserted = catalog_.emplace(name, std::move(entry)).second;
-  if (!inserted) {
-    return Status::FailedPrecondition("AddGraph: graph \"" + name +
-                                      "\" is already registered");
-  }
-  return Status::Ok();
+  return InsertEntry(name, "AddGraph", std::move(entry));
 }
 
 Status AtrService::RestoreGraph(const std::string& name,
@@ -194,17 +286,11 @@ Status AtrService::RestoreGraph(const std::string& name,
   entry->current->InstallPrebuilt(
       std::make_shared<TrussDecomposition>(std::move(decomposition)));
   entry->delta_chain.store(delta_chain_length, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  const bool inserted = catalog_.emplace(name, std::move(entry)).second;
-  if (!inserted) {
-    return Status::FailedPrecondition("RestoreGraph: graph \"" + name +
-                                      "\" is already registered");
-  }
-  return Status::Ok();
+  return InsertEntry(name, "RestoreGraph", std::move(entry));
 }
 
 void AtrService::SetUpdateListener(UpdateListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(listener_mu_);
   update_listener_ =
       listener ? std::make_shared<const UpdateListener>(std::move(listener))
                : nullptr;
@@ -220,8 +306,9 @@ Status AtrService::ResetDeltaChain(const std::string& name) {
 }
 
 Status AtrService::RemoveGraph(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (catalog_.erase(name) == 0) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.catalog.erase(name) == 0) {
     return Status::NotFound("RemoveGraph: unknown graph \"" + name + "\"");
   }
   return Status::Ok();
@@ -229,17 +316,21 @@ Status AtrService::RemoveGraph(const std::string& name) {
 
 std::vector<std::string> AtrService::GraphNames() const {
   std::vector<std::string> names;
-  std::lock_guard<std::mutex> lock(mu_);
-  names.reserve(catalog_.size());
-  for (const auto& [name, entry] : catalog_) names.push_back(name);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [name, entry] : shard->catalog) names.push_back(name);
+  }
+  // Each shard map is sorted, but names hash across shards arbitrarily.
+  std::sort(names.begin(), names.end());
   return names;
 }
 
 std::shared_ptr<AtrService::CatalogEntry> AtrService::FindEntry(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = catalog_.find(name);
-  return it == catalog_.end() ? nullptr : it->second;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.catalog.find(name);
+  return it == shard.catalog.end() ? nullptr : it->second;
 }
 
 GraphSnapshot AtrService::SnapshotOf(CatalogEntry& entry,
@@ -331,7 +422,7 @@ StatusOr<GraphSnapshot> AtrService::UpdateGraph(const std::string& name,
   // order with no gaps.)
   std::shared_ptr<const UpdateListener> listener;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(listener_mu_);
     listener = update_listener_;
   }
   if (listener != nullptr && *listener) {
@@ -383,31 +474,73 @@ StatusOr<AtrService::GraphInfo> AtrService::Info(
 StatusOr<JobHandle> AtrService::Submit(const std::string& graph_name,
                                        const std::string& solver_name,
                                        const SolverOptions& options) {
-  return SubmitInternal(graph_name, solver_name, options, nullptr,
-                        /*blocking=*/true);
+  return SubmitInternal(graph_name, solver_name, options, SubmitOptions{},
+                        nullptr, /*blocking=*/true);
 }
 
 StatusOr<JobHandle> AtrService::Submit(const std::string& graph_name,
                                        const std::string& solver_name,
                                        const SolverOptions& options,
                                        std::function<void()> done) {
-  return SubmitInternal(graph_name, solver_name, options, std::move(done),
-                        /*blocking=*/true);
+  return SubmitInternal(graph_name, solver_name, options, SubmitOptions{},
+                        std::move(done), /*blocking=*/true);
+}
+
+StatusOr<JobHandle> AtrService::Submit(const std::string& graph_name,
+                                       const std::string& solver_name,
+                                       const SolverOptions& options,
+                                       const SubmitOptions& submit,
+                                       std::function<void()> done) {
+  return SubmitInternal(graph_name, solver_name, options, submit,
+                        std::move(done), /*blocking=*/true);
 }
 
 StatusOr<JobHandle> AtrService::TrySubmit(const std::string& graph_name,
                                           const std::string& solver_name,
                                           const SolverOptions& options,
                                           std::function<void()> done) {
-  return SubmitInternal(graph_name, solver_name, options, std::move(done),
-                        /*blocking=*/false);
+  return SubmitInternal(graph_name, solver_name, options, SubmitOptions{},
+                        std::move(done), /*blocking=*/false);
 }
+
+StatusOr<JobHandle> AtrService::TrySubmit(const std::string& graph_name,
+                                          const std::string& solver_name,
+                                          const SolverOptions& options,
+                                          const SubmitOptions& submit,
+                                          std::function<void()> done) {
+  return SubmitInternal(graph_name, solver_name, options, submit,
+                        std::move(done), /*blocking=*/false);
+}
+
+namespace {
+
+// Only the prefix-consistent solvers fuse: the greedy family picks each
+// round's argmax independent of the remaining budget (a budget-b run IS
+// the first b rounds of a budget-B run), and exact runs one independent
+// enumeration per checkpoint budget that members can share. The
+// randomized baselines (draw length depends on budget) and AKT are
+// excluded; so is any job whose caller holds a live control surface
+// (progress callback, external cancel flag, wall-clock limit) — those
+// semantics are per-job and do not survive fusion.
+bool FusableSolver(const std::string& solver_name) {
+  return solver_name == "base" || solver_name == "base+" ||
+         solver_name == "gas" || solver_name == "exact";
+}
+
+bool FusableOptions(const SolverOptions& options) {
+  return !options.progress && options.cancel == nullptr &&
+         options.wall_clock_limit_seconds == 0.0;
+}
+
+}  // namespace
 
 StatusOr<JobHandle> AtrService::SubmitInternal(const std::string& graph_name,
                                                const std::string& solver_name,
                                                const SolverOptions& options,
+                                               const SubmitOptions& submit,
                                                std::function<void()> done,
                                                bool blocking) {
+  Shard& shard = ShardFor(graph_name);
   std::shared_ptr<CatalogEntry> entry = FindEntry(graph_name);
   if (entry == nullptr) {
     return Status::NotFound("Submit: unknown graph \"" + graph_name + "\"");
@@ -416,10 +549,7 @@ StatusOr<JobHandle> AtrService::SubmitInternal(const std::string& graph_name,
   if (!solver.ok()) return solver.status();
 
   auto state = std::make_shared<internal::JobState>();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    state->id = next_job_id_++;
-  }
+  state->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   state->graph_name = graph_name;
   state->solver_name = solver_name;
   state->options = options;
@@ -431,14 +561,73 @@ StatusOr<JobHandle> AtrService::SubmitInternal(const std::string& graph_name,
   std::shared_ptr<GraphVersion> version = entry->Current();
   state->snapshot = [entry, version] { return SnapshotOf(*entry, *version); };
 
-  Status queued = blocking ? queue_.Submit([state] { RunJob(state); })
-                           : queue_.TrySubmit([state] { RunJob(state); });
+  FairScheduler::Job job;
+  job.tenant = submit.tenant;
+  job.priority = submit.priority;
+  if (FusableSolver(solver_name) && FusableOptions(options)) {
+    // The pinned GraphVersion's address identifies graph + version with no
+    // ABA risk (every queued member's snapshot closure keeps it alive), so
+    // jobs only fuse when they would walk the same immutable snapshot with
+    // the same engine configuration.
+    job.batch_key = solver_name + "|" +
+                    std::to_string(reinterpret_cast<uintptr_t>(version.get())) +
+                    "|i" + (options.use_incremental ? "1" : "0") + "|t" +
+                    std::to_string(options.threads);
+  }
+  job.payload = state;
+
+  Status queued = blocking ? shard.scheduler->Submit(std::move(job))
+                           : shard.scheduler->TrySubmit(std::move(job));
   if (!queued.ok()) return queued;  // saturated (TrySubmit) or shut down
   entry->jobs_submitted.fetch_add(1, std::memory_order_relaxed);
   return JobHandle(state);
 }
 
-void AtrService::Drain() { queue_.WaitIdle(); }
+void AtrService::SetTenantWeight(const std::string& tenant, uint32_t weight) {
+  for (const auto& shard : shards_) {
+    shard->scheduler->SetTenantWeight(tenant, weight);
+  }
+}
+
+size_t AtrService::TenantLoad(const std::string& tenant) const {
+  size_t load = 0;
+  for (const auto& shard : shards_) {
+    load += shard->scheduler->TenantLoad(tenant);
+  }
+  return load;
+}
+
+size_t AtrService::QueueLoad() const {
+  size_t load = 0;
+  for (const auto& shard : shards_) load += shard->scheduler->Load();
+  return load;
+}
+
+size_t AtrService::QueueCapacity() const {
+  size_t capacity = 0;
+  for (const auto& shard : shards_) capacity += shard->scheduler->capacity();
+  return capacity;
+}
+
+int AtrService::Workers() const {
+  int workers = 0;
+  for (const auto& shard : shards_) workers += shard->scheduler->workers();
+  return workers;
+}
+
+AtrService::SchedulerStats AtrService::Stats() const {
+  SchedulerStats stats;
+  for (const auto& shard : shards_) {
+    stats.jobs_executed += shard->scheduler->jobs_executed();
+    stats.batches_executed += shard->scheduler->batches_executed();
+    stats.jobs_fused += shard->scheduler->jobs_fused();
+  }
+  return stats;
+}
+
+void AtrService::Drain() {
+  for (const auto& shard : shards_) shard->scheduler->WaitIdle();
+}
 
 StatusOr<std::unique_ptr<AtrEngine>> AtrService::CheckoutSession(
     const std::string& graph_name) {
@@ -453,23 +642,41 @@ StatusOr<std::unique_ptr<AtrEngine>> AtrService::CheckoutSession(
                                      std::move(snapshot.decomposition));
 }
 
+void AtrService::RunBatch(std::vector<FairScheduler::Job> batch) {
+  if (batch.size() == 1) {
+    RunJob(std::static_pointer_cast<internal::JobState>(batch[0].payload));
+    return;
+  }
+  // A multi-member batch only forms for fusable jobs sharing one batch
+  // key, i.e. one pinned GraphVersion + one solver + one engine config.
+  std::vector<std::shared_ptr<internal::JobState>> members;
+  members.reserve(batch.size());
+  for (FairScheduler::Job& job : batch) {
+    auto state = std::static_pointer_cast<internal::JobState>(job.payload);
+    std::unique_lock<std::mutex> lock(state->mu);
+    if (state->cancel.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      internal::PublishCancelledBeforeStart(state);
+      continue;
+    }
+    state->state = JobHandle::State::kRunning;
+    lock.unlock();
+    members.push_back(std::move(state));
+  }
+  if (members.empty()) return;
+  if (members.front()->solver_name == "exact") {
+    RunFusedExact(members);
+  } else {
+    RunFusedGreedy(members);
+  }
+}
+
 void AtrService::RunJob(const std::shared_ptr<internal::JobState>& state) {
   {
     std::unique_lock<std::mutex> lock(state->mu);
     if (state->cancel.load(std::memory_order_relaxed)) {
-      state->state = JobHandle::State::kCancelled;
-      state->result = StatusOr<SolveResult>(Status::Cancelled(
-          "job " + std::to_string(state->id) + " (" + state->solver_name +
-          " on \"" + state->graph_name + "\") cancelled before it started"));
-      state->snapshot = nullptr;
-      state->solver.reset();
-      state->options = SolverOptions();
-      std::function<void()> done = std::move(state->on_done);
-      state->on_done = nullptr;
-      state->cv.notify_all();
       lock.unlock();
-      // Outside the lock: the hook may call JobHandle methods.
-      if (done) done();
+      internal::PublishCancelledBeforeStart(state);
       return;
     }
     state->state = JobHandle::State::kRunning;
@@ -514,23 +721,178 @@ void AtrService::RunJob(const std::shared_ptr<internal::JobState>& state) {
   };
 
   StatusOr<SolveResult> result = state->solver->Solve(context, effective);
-  std::function<void()> done;
-  {
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->result = std::move(result);
-    state->state = JobHandle::State::kDone;
-    // Long-lived JobHandle copies must pin only the result, not the graph
-    // snapshot, the solver, or the caller's closures.
-    state->snapshot = nullptr;
-    state->solver.reset();
-    state->options = SolverOptions();
-    done = std::move(state->on_done);
-    state->on_done = nullptr;
-    state->cv.notify_all();
+  internal::PublishResult(state, std::move(result), JobHandle::State::kDone);
+}
+
+// One greedy walk at the max member budget; every member's result is the
+// b-round prefix, assembled with exactly the bookkeeping the GreedySolver
+// adapter applies to a solo run (api/solvers.cc) so fused and solo results
+// are byte-identical.
+void AtrService::RunFusedGreedy(
+    const std::vector<std::shared_ptr<internal::JobState>>& members) {
+  const GraphSnapshot snapshot = members.front()->snapshot();
+
+  // Per-member validation must match the solo path: a member with an
+  // invalid budget fails alone with its own error; the others still fuse.
+  std::vector<std::shared_ptr<internal::JobState>> live;
+  live.reserve(members.size());
+  uint32_t max_budget = 0;
+  for (const auto& state : members) {
+    Status valid = ValidateSolverOptions(*snapshot.graph, state->options);
+    if (!valid.ok()) {
+      internal::PublishResult(state, StatusOr<SolveResult>(std::move(valid)),
+                              JobHandle::State::kDone);
+      continue;
+    }
+    max_budget = std::max(max_budget, state->options.budget);
+    live.push_back(state);
   }
-  // Outside the lock: the hook may call JobHandle methods (TryGet sees the
-  // result — it was published above).
-  if (done) done();
+  if (live.empty()) return;
+
+  SolverContext context(*snapshot.graph);
+  context.PrimeDecomposition(snapshot.decomposition);
+
+  SolverOptions fused;
+  fused.budget = max_budget;
+  fused.use_incremental = live.front()->options.use_incremental;
+  fused.threads = live.front()->options.threads;
+  // The batch's native cancel granularity: after each round, members that
+  // already have their budget covered record progress, and the walk stops
+  // only when EVERY member wants out (one live member keeps it running —
+  // its prefix must reach its own budget).
+  fused.progress = [&live](const SolveProgress& event) {
+    bool any_live = false;
+    for (const auto& state : live) {
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (event.round <= state->options.budget) {
+          state->progress = event;
+          state->progress.budget = state->options.budget;
+        }
+      }
+      if (!state->cancel.load(std::memory_order_relaxed) &&
+          event.round < state->options.budget) {
+        any_live = true;
+      }
+    }
+    // False once no un-cancelled member needs another round. The greedy
+    // core may then flag stopped_early even when the max budget was fully
+    // served; the per-member carve below re-derives the solo flag from
+    // prefix < budget, so that over-report never leaks into a result.
+    return any_live;
+  };
+
+  StatusOr<SolveResult> run = live.front()->solver->Solve(context, fused);
+  if (!run.ok()) {
+    for (const auto& state : live) {
+      internal::PublishResult(state, StatusOr<SolveResult>(run.status()),
+                              JobHandle::State::kDone);
+    }
+    return;
+  }
+
+  for (const auto& state : live) {
+    const uint32_t budget = state->options.budget;
+    const size_t prefix = std::min<size_t>(budget, run->rounds.size());
+    SolveResult result;
+    result.solver = run->solver;
+    result.anchor_edges.assign(run->anchor_edges.begin(),
+                               run->anchor_edges.begin() + prefix);
+    result.rounds.assign(run->rounds.begin(), run->rounds.begin() + prefix);
+    for (const AnchorRound& round : result.rounds) {
+      result.total_gain += round.gain;
+      result.fully_reusable += round.fully_reusable;
+      result.partially_reusable += round.partially_reusable;
+      result.non_reusable += round.non_reusable;
+    }
+    result.gain_at_checkpoint = internal::GreedyPrefixGains(
+        result.rounds, EffectiveCheckpoints(state->options));
+    // A walk that ran out of eligible candidates before this member's
+    // budget is natural exhaustion (solo reports it the same way, not
+    // stopped_early); a cancelled walk is stopped_early only for members
+    // whose budget the prefix did not reach.
+    result.stopped_early = run->stopped_early && prefix < budget;
+    result.seconds = run->seconds;
+    internal::PublishResult(state, std::move(result), JobHandle::State::kDone);
+  }
+}
+
+// One exact enumeration per DISTINCT checkpoint budget across the batch;
+// members assemble their sweeps from the shared runs with the solo
+// adapter's exact bookkeeping (per-member subsets_evaluated sums its own
+// checkpoints, so results match a solo run bit for bit).
+void AtrService::RunFusedExact(
+    const std::vector<std::shared_ptr<internal::JobState>>& members) {
+  const GraphSnapshot snapshot = members.front()->snapshot();
+
+  std::vector<std::shared_ptr<internal::JobState>> live;
+  live.reserve(members.size());
+  std::set<uint32_t> budgets;
+  for (const auto& state : members) {
+    Status valid = ValidateSolverOptions(*snapshot.graph, state->options);
+    if (!valid.ok()) {
+      internal::PublishResult(state, StatusOr<SolveResult>(std::move(valid)),
+                              JobHandle::State::kDone);
+      continue;
+    }
+    for (uint32_t c : EffectiveCheckpoints(state->options)) budgets.insert(c);
+    live.push_back(state);
+  }
+  if (live.empty()) return;
+
+  SolverContext context(*snapshot.graph);
+  context.PrimeDecomposition(snapshot.decomposition);
+  ScopedParallelism parallelism(live.front()->options.threads);
+  const TrussDecomposition& base = context.Decomposition();
+
+  WallTimer timer;
+  std::map<uint32_t, ExactResult> computed;
+  for (uint32_t b : budgets) {  // std::set: ascending, cheap runs first
+    bool any_live = false;
+    for (const auto& state : live) {
+      if (!state->cancel.load(std::memory_order_relaxed)) any_live = true;
+    }
+    if (!any_live) break;
+    computed.emplace(b, RunExact(*snapshot.graph, b, &base));
+    const double elapsed = timer.ElapsedSeconds();
+    for (const auto& state : live) {
+      // Mirror the solo adapter's per-checkpoint progress events for
+      // members whose sweep includes this budget.
+      const std::vector<uint32_t> checkpoints =
+          EffectiveCheckpoints(state->options);
+      auto it = std::find(checkpoints.begin(), checkpoints.end(), b);
+      if (it == checkpoints.end()) continue;
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->progress.solver = state->solver_name;
+      state->progress.round =
+          static_cast<uint32_t>(it - checkpoints.begin()) + 1;
+      state->progress.budget = state->options.budget;
+      state->progress.total_gain = computed.at(b).gain;
+      state->progress.elapsed_seconds = elapsed;
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  for (const auto& state : live) {
+    SolveResult result;
+    result.solver = state->solver_name;
+    for (uint32_t c : EffectiveCheckpoints(state->options)) {
+      auto it = computed.find(c);
+      if (it == computed.end()) {
+        // The batch stopped (all members cancelled) before this budget
+        // ran — the member keeps the prefix of its sweep, like a solo
+        // exact run cancelled between checkpoints.
+        result.stopped_early = true;
+        break;
+      }
+      result.gain_at_checkpoint.push_back(it->second.gain);
+      result.subsets_evaluated += it->second.subsets_evaluated;
+      result.anchor_edges = it->second.anchors;
+      result.total_gain = it->second.gain;
+    }
+    result.seconds = seconds;
+    internal::PublishResult(state, std::move(result), JobHandle::State::kDone);
+  }
 }
 
 }  // namespace atr

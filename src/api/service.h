@@ -22,10 +22,27 @@
 // never depend on scheduling or thread count (see docs/API.md, threading
 // and determinism).
 //
-// Jobs are asynchronous: Submit enqueues onto a bounded TaskQueue
-// (util/task_queue.h) whose workers split the machine's thread budget with
+// Jobs are asynchronous: Submit enqueues onto a bounded FairScheduler
+// (util/scheduler.h) whose workers split the machine's thread budget with
 // the solvers' inner ParallelFor loops, and returns a JobHandle with
 // Wait() / TryGet() / Cancel() and a polled Progress() snapshot.
+//
+// Sharding: with Options::shards = N, the catalog and the scheduler are
+// split into N independent shards keyed by hash(graph name) — unrelated
+// graphs never contend on one mutex or one queue. Fair-share dispatch is
+// per shard: every Submit may carry a SubmitOptions{tenant, priority},
+// and each shard's scheduler serves tenants with weighted deficit
+// round-robin so a flooding tenant cannot starve a light one.
+//
+// Batch fusion: compatible queued jobs — same graph version, same solver
+// (greedy family or exact), same use_incremental/threads, and no
+// caller-owned progress/cancel/wall-clock hooks — coalesce into one
+// solver run. One greedy walk at the max budget serves every member as a
+// prefix; one exact enumeration per distinct checkpoint budget serves all
+// members' sweeps. Each member's SolveResult is carved out exactly as if
+// it had run alone (the scheduler differential tests assert
+// byte-identity), and decomposition_builds still moves at most once per
+// graph version.
 //
 // Mutations never touch served snapshots: CheckoutSession hands out a
 // private AtrEngine primed with the shared snapshot; its first committed
@@ -50,6 +67,7 @@
 #ifndef ATR_API_SERVICE_H_
 #define ATR_API_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -62,8 +80,8 @@
 #include "api/solver.h"
 #include "graph/graph.h"
 #include "truss/decomposition.h"
+#include "util/scheduler.h"
 #include "util/status.h"
-#include "util/task_queue.h"
 
 namespace atr {
 
@@ -142,6 +160,23 @@ class AtrService {
     // and data parallelism compose without oversubscription. A job whose
     // SolverOptions::threads is set still overrides this for its own run.
     int threads_per_job = 0;
+    // Independent catalog + scheduler shards keyed by hash(graph name).
+    // `workers` and `queue_capacity` are totals, split evenly across the
+    // shards (at least 1 worker / 1 slot each). 1 (the default) is the
+    // pre-sharding single-queue behavior.
+    int shards = 1;
+    // Most compatible jobs one batch may fuse into a single solver run.
+    // 1 disables batch fusion entirely.
+    size_t max_batch = 8;
+  };
+
+  // Fair-share identity of one Submit. Tenants are created on first use;
+  // "" is the default tenant (still fair-shared against named ones).
+  // Higher priority runs first within a tenant; tenants are isolated from
+  // each other's priorities by the deficit round-robin.
+  struct SubmitOptions {
+    std::string tenant;
+    int priority = 0;
   };
 
   AtrService() : AtrService(Options()) {}
@@ -265,6 +300,13 @@ class AtrService {
                              const SolverOptions& options,
                              std::function<void()> done);
 
+  // Submit under a fair-share identity (tenant + priority).
+  StatusOr<JobHandle> Submit(const std::string& graph_name,
+                             const std::string& solver_name,
+                             const SolverOptions& options,
+                             const SubmitOptions& submit,
+                             std::function<void()> done = nullptr);
+
   // Non-blocking admission-controlled Submit: where Submit would block on
   // a full pending queue, this rejects with kResourceExhausted (the
   // server layer turns that into a structured retry-after response).
@@ -272,12 +314,37 @@ class AtrService {
                                 const std::string& solver_name,
                                 const SolverOptions& options,
                                 std::function<void()> done = nullptr);
+  StatusOr<JobHandle> TrySubmit(const std::string& graph_name,
+                                const std::string& solver_name,
+                                const SolverOptions& options,
+                                const SubmitOptions& submit,
+                                std::function<void()> done = nullptr);
+
+  // Dispatch weight of `tenant` on every shard (default 1; 0 clamps to 1).
+  void SetTenantWeight(const std::string& tenant, uint32_t weight);
+
+  // Pending + running jobs for one tenant, summed over the shards — the
+  // signal behind the server's per-tenant retry-after estimate.
+  size_t TenantLoad(const std::string& tenant) const;
 
   // Pending + running jobs / pending-queue capacity / worker count —
-  // the load signals behind the server's retry-after estimate.
-  size_t QueueLoad() const { return queue_.Load(); }
-  size_t QueueCapacity() const { return queue_.capacity(); }
-  int Workers() const { return queue_.workers(); }
+  // the load signals behind the server's retry-after estimate. All three
+  // are totals summed over the shards.
+  size_t QueueLoad() const;
+  size_t QueueCapacity() const;
+  int Workers() const;
+  int Shards() const { return static_cast<int>(shards_.size()); }
+
+  // Scheduler counters summed over the shards. jobs_executed counts
+  // individual jobs, batches_executed counts solver dispatches; the gap
+  // between them is the work batch fusion saved. jobs_fused counts jobs
+  // that rode in a batch of more than one.
+  struct SchedulerStats {
+    uint64_t jobs_executed = 0;
+    uint64_t batches_executed = 0;
+    uint64_t jobs_fused = 0;
+  };
+  SchedulerStats Stats() const;
 
   // Blocks until every job submitted so far has finished.
   void Drain();
@@ -294,13 +361,30 @@ class AtrService {
   struct GraphVersion;
   struct CatalogEntry;
 
+  // One catalog + scheduler shard. The scheduler is declared after the
+  // catalog so shard destruction drains and joins its workers before the
+  // catalog entries go away (running jobs additionally pin their entry
+  // through shared_ptrs).
+  struct Shard {
+    mutable std::mutex mu;  // guards catalog
+    std::map<std::string, std::shared_ptr<CatalogEntry>> catalog;
+    std::unique_ptr<FairScheduler> scheduler;
+  };
+
   // Shared Submit/TrySubmit implementation; `blocking` picks the queue
   // entry point (blocking backpressure vs kResourceExhausted reject).
   StatusOr<JobHandle> SubmitInternal(const std::string& graph_name,
                                      const std::string& solver_name,
                                      const SolverOptions& options,
+                                     const SubmitOptions& submit,
                                      std::function<void()> done,
                                      bool blocking);
+
+  Shard& ShardFor(const std::string& name) const;
+  // Registers `entry` under `name` in its shard (the AddGraph /
+  // RestoreGraph tail); fails when the name is taken.
+  Status InsertEntry(const std::string& name, const char* what,
+                     std::shared_ptr<CatalogEntry> entry);
 
   // The entry for `name`, or nullptr (caller turns that into kNotFound).
   std::shared_ptr<CatalogEntry> FindEntry(const std::string& name) const;
@@ -309,16 +393,20 @@ class AtrService {
   // and returns its snapshot.
   static GraphSnapshot SnapshotOf(CatalogEntry& entry, GraphVersion& version);
 
+  // Scheduler entry point: singleton batches run the classic RunJob path,
+  // fused batches one shared solver walk carved per member.
+  static void RunBatch(std::vector<FairScheduler::Job> batch);
   static void RunJob(const std::shared_ptr<internal::JobState>& state);
+  static void RunFusedGreedy(
+      const std::vector<std::shared_ptr<internal::JobState>>& members);
+  static void RunFusedExact(
+      const std::vector<std::shared_ptr<internal::JobState>>& members);
 
-  mutable std::mutex mu_;  // guards catalog_, next_job_id_, update_listener_
-  std::map<std::string, std::shared_ptr<CatalogEntry>> catalog_;
-  JobId next_job_id_ = 1;
+  std::atomic<JobId> next_job_id_{1};
+  mutable std::mutex listener_mu_;  // guards update_listener_
   std::shared_ptr<const UpdateListener> update_listener_;
 
-  // Last member: destroyed (drained + joined) before the catalog, so
-  // running jobs never outlive the state they reference.
-  TaskQueue queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace atr

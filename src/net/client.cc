@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -37,6 +38,19 @@ Status AtrClient::Connect(const std::string& host, uint16_t port) {
     Close();
     return Status::InvalidArgument("AtrClient: bad host address " + host);
   }
+  if (options_.io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(options_.io_timeout_ms % 1000) * 1000;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+        ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+      const int err = errno;
+      Close();
+      return Status::Internal(
+          std::string("AtrClient: setting the I/O timeout failed: ") +
+          std::strerror(err));
+    }
+  }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     Close();
@@ -64,6 +78,12 @@ Status AtrClient::SendBytes(const std::vector<uint8_t>& bytes) {
         ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO elapsed with the socket unwritable.
+        return Status::DeadlineExceeded(
+            "AtrClient: send made no progress within io_timeout_ms=" +
+            std::to_string(options_.io_timeout_ms));
+      }
       return Status::Internal(std::string("AtrClient: send failed: ") +
                               std::strerror(errno));
     }
@@ -109,6 +129,13 @@ StatusOr<Frame> AtrClient::ReceiveFor(uint64_t request_id, MsgType expected) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO elapsed with no bytes from the server. The request
+        // is still in flight remotely; only this wait is abandoned.
+        return Status::DeadlineExceeded(
+            "AtrClient: no response within io_timeout_ms=" +
+            std::to_string(options_.io_timeout_ms));
+      }
       return Status::Internal(std::string("AtrClient: recv failed: ") +
                               std::strerror(errno));
     }
@@ -156,12 +183,16 @@ StatusOr<AtrService::GraphInfo> AtrClient::Info(const std::string& graph) {
 
 StatusOr<uint64_t> AtrClient::SendSubmit(const std::string& graph,
                                          const std::string& solver,
-                                         const WireSolverOptions& options) {
+                                         const WireSolverOptions& options,
+                                         const std::string& tenant,
+                                         int priority) {
   SubmitRequest request;
   request.request_id = NextRequestId();
   request.graph = graph;
   request.solver = solver;
   request.options = options;
+  request.tenant = tenant;
+  request.priority = priority;
   if (Status s = SendBytes(request.EncodeFrame()); !s.ok()) return s;
   return request.request_id;
 }
@@ -176,8 +207,10 @@ StatusOr<uint64_t> AtrClient::ReceiveSubmit(uint64_t request_id) {
 
 StatusOr<uint64_t> AtrClient::Submit(const std::string& graph,
                                      const std::string& solver,
-                                     const WireSolverOptions& options) {
-  StatusOr<uint64_t> request_id = SendSubmit(graph, solver, options);
+                                     const WireSolverOptions& options,
+                                     const std::string& tenant, int priority) {
+  StatusOr<uint64_t> request_id =
+      SendSubmit(graph, solver, options, tenant, priority);
   if (!request_id.ok()) return request_id.status();
   return ReceiveSubmit(*request_id);
 }

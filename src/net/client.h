@@ -34,9 +34,19 @@
 namespace atr {
 namespace net {
 
+struct AtrClientOptions {
+  // Per-I/O deadline, applied to the socket as SO_RCVTIMEO + SO_SNDTIMEO
+  // at Connect. A send or recv that makes no progress for this long fails
+  // the call with kDeadlineExceeded — the request may still execute
+  // server-side (the deadline bounds the wait, not the work). 0 = block
+  // forever (the pre-deadline behavior).
+  uint32_t io_timeout_ms = 0;
+};
+
 class AtrClient {
  public:
   AtrClient() = default;
+  explicit AtrClient(AtrClientOptions options) : options_(options) {}
   ~AtrClient() { Close(); }
 
   AtrClient(const AtrClient&) = delete;
@@ -48,6 +58,7 @@ class AtrClient {
     if (this != &other) {
       Close();
       fd_ = std::exchange(other.fd_, -1);
+      options_ = other.options_;
       next_request_id_ = other.next_request_id_;
       parser_ = std::move(other.parser_);
       stash_ = std::move(other.stash_);
@@ -65,9 +76,12 @@ class AtrClient {
   Status Ping();
   StatusOr<std::vector<std::string>> ListGraphs();
   StatusOr<AtrService::GraphInfo> Info(const std::string& graph);
-  // Enqueues a solve; the returned job id feeds Wait / Cancel.
+  // Enqueues a solve; the returned job id feeds Wait / Cancel. `tenant`
+  // names the fair-share queue the job lands in ("" = the default
+  // tenant); higher `priority` runs first within the tenant.
   StatusOr<uint64_t> Submit(const std::string& graph, const std::string& solver,
-                            const WireSolverOptions& options);
+                            const WireSolverOptions& options,
+                            const std::string& tenant = "", int priority = 0);
   // Blocks until the job finishes server-side and returns its result.
   StatusOr<WireSolveResult> Wait(uint64_t job_id);
   // true = the job was cancelled before running; false = too late.
@@ -85,7 +99,9 @@ class AtrClient {
 
   StatusOr<uint64_t> SendSubmit(const std::string& graph,
                                 const std::string& solver,
-                                const WireSolverOptions& options);
+                                const WireSolverOptions& options,
+                                const std::string& tenant = "",
+                                int priority = 0);
   StatusOr<uint64_t> ReceiveSubmit(uint64_t request_id);
   StatusOr<uint64_t> SendWait(uint64_t job_id);
   StatusOr<WireSolveResult> ReceiveWait(uint64_t request_id);
@@ -104,6 +120,7 @@ class AtrClient {
   StatusOr<Frame> ReceiveFor(uint64_t request_id, MsgType expected);
 
   int fd_ = -1;
+  AtrClientOptions options_;
   uint64_t next_request_id_ = 1;
   FrameParser parser_;
   std::map<uint64_t, Frame> stash_;  // responses for ids nobody asked for yet

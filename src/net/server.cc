@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -34,7 +36,12 @@ struct AtrServer::Connection {
   FrameParser parser;
   std::vector<uint8_t> out;  // bytes [out_offset, size) still unsent
   size_t out_offset = 0;
-  bool closing = false;  // flush what is queued, then close
+  bool closing = false;     // flush what is queued, then close
+  bool overflowed = false;  // output high-water mark exceeded; drop now
+  // Wait requests parked on unfinished jobs; a connection with one is
+  // waiting on the server, not idling.
+  size_t parked_waiters = 0;
+  std::chrono::steady_clock::time_point last_activity;
 
   bool HasPendingOutput() const { return out_offset < out.size(); }
 };
@@ -63,6 +70,7 @@ AtrServer::~AtrServer() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
   if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  if (spare_fd_ >= 0) ::close(spare_fd_);
 }
 
 Status AtrServer::Start() {
@@ -71,6 +79,8 @@ Status AtrServer::Start() {
   AtrService::Options service_options;
   service_options.workers = options_.workers;
   service_options.queue_capacity = options_.queue_capacity;
+  if (options_.shards > 0) service_options.shards = options_.shards;
+  if (options_.max_batch > 0) service_options.max_batch = options_.max_batch;
   service_ = std::make_unique<AtrService>(service_options);
 
   if (!options_.data_dir.empty()) {
@@ -91,6 +101,7 @@ Status AtrServer::Start() {
   }
   wake_read_fd_ = pipe_fds[0];
   wake_write_fd_ = pipe_fds[1];
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 
   started_ = true;
   loop_thread_ = std::thread([this] { Loop(); });
@@ -179,6 +190,10 @@ Status AtrServer::StopWithoutPersist() {
 void AtrServer::Loop() {
   std::vector<pollfd> fds;
   std::vector<int> polled_ids;  // connection id behind fds[2 + i]
+  const int tick_ms =
+      options_.idle_timeout_ms > 0
+          ? std::min(500, static_cast<int>(options_.idle_timeout_ms))
+          : 500;
   while (!stop_requested_.load(std::memory_order_acquire)) {
     fds.clear();
     polled_ids.clear();
@@ -191,7 +206,7 @@ void AtrServer::Loop() {
       polled_ids.push_back(id);
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/500);
+    const int ready = ::poll(fds.data(), fds.size(), tick_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;  // poll broken beyond repair; shut the loop down
@@ -205,20 +220,11 @@ void AtrServer::Loop() {
     ProcessCompletedJobs();
     if (stop_requested_.load(std::memory_order_acquire)) break;
 
-    if (fds[0].revents & POLLIN) {
-      for (;;) {
-        const int fd =
-            ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-        if (fd < 0) break;  // EAGAIN or transient accept failure
-        auto conn = std::make_unique<Connection>();
-        conn->id = next_connection_id_++;
-        conn->fd = fd;
-        connections_[conn->id] = std::move(conn);
-      }
-    }
+    if (fds[0].revents & POLLIN) AcceptNewConnections();
 
     // Connections accepted above were not in this poll round; only the
     // ids snapshotted into polled_ids have meaningful revents.
+    const auto now = std::chrono::steady_clock::now();
     std::vector<int> dead;
     for (size_t i = 0; i < polled_ids.size(); ++i) {
       auto it = connections_.find(polled_ids[i]);
@@ -231,6 +237,22 @@ void AtrServer::Loop() {
         alive = ReadFromConnection(conn);
       }
       if (alive && (pfd.revents & POLLOUT)) alive = WriteToConnection(conn);
+      if (alive && conn.overflowed) {
+        std::fprintf(stderr,
+                     "atr-server: disconnecting slow consumer (connection %d): "
+                     "%zu unsent bytes exceed the %zu-byte high-water mark\n",
+                     conn.id, conn.out.size() - conn.out_offset,
+                     options_.max_output_buffer_bytes);
+        slow_consumer_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        alive = false;
+      }
+      if (alive && options_.idle_timeout_ms > 0 && conn.parked_waiters == 0 &&
+          !conn.HasPendingOutput() &&
+          now - conn.last_activity >=
+              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        alive = false;
+      }
       if (alive && conn.closing && !conn.HasPendingOutput()) alive = false;
       if (!alive) dead.push_back(polled_ids[i]);
     }
@@ -240,18 +262,97 @@ void AtrServer::Loop() {
     }
   }
 
-  // Drain phase: give queued responses (e.g. the ShutdownResponse that
-  // triggered this exit) a bounded chance to flush, then close everything.
-  for (int round = 0; round < 100; ++round) {
-    bool pending = false;
+  FlushAndCloseAll();
+}
+
+void AtrServer::AcceptNewConnections() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      auto conn = std::make_unique<Connection>();
+      conn->id = next_connection_id_++;
+      conn->fd = fd;
+      conn->last_activity = std::chrono::steady_clock::now();
+      connections_[conn->id] = std::move(conn);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    // The peer gave up between SYN and accept; not our problem.
+    if (errno == ECONNABORTED || errno == EPROTO) continue;
+    if (errno == EMFILE || errno == ENFILE) {
+      // Out of descriptors. Leaving the connection in the backlog would
+      // make the peer block forever AND re-trigger POLLIN on the listener
+      // every loop tick. Free the reserve descriptor, accept the pending
+      // connection into the freed slot, answer it with a structured
+      // kResourceExhausted error, and close it.
+      if (spare_fd_ >= 0) {
+        ::close(spare_fd_);
+        spare_fd_ = -1;
+      }
+      const int shed = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (shed >= 0) {
+        ErrorResponse error;
+        error.request_id = 0;  // connection-level: no request in flight yet
+        error.code = StatusCode::kResourceExhausted;
+        error.message = "server is out of file descriptors";
+        error.retry_after_ms = RetryAfterMs("");
+        const std::vector<uint8_t> frame = error.EncodeFrame();
+        [[maybe_unused]] ssize_t n = ::send(shed, frame.data(), frame.size(),
+                                            MSG_NOSIGNAL | MSG_DONTWAIT);
+        ::close(shed);
+      }
+      spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+      accept_sheds_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "atr-server: out of file descriptors; shed one pending "
+                   "connection with kResourceExhausted\n");
+      return;
+    }
+    return;  // unexpected accept failure; retry on the next POLLIN
+  }
+}
+
+// Drain phase: give queued responses (e.g. the ShutdownResponse that
+// triggered this exit) a bounded chance to flush, then close everything.
+// Waits on the sockets themselves rather than sleeping blind, and drops
+// peers that error out instead of retrying them for the full budget.
+void AtrServer::FlushAndCloseAll() {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  std::vector<pollfd> fds;
+  std::vector<int> polled_ids;
+  for (;;) {
+    fds.clear();
+    polled_ids.clear();
     for (auto& [id, conn] : connections_) {
       if (conn->HasPendingOutput()) {
-        WriteToConnection(*conn);
-        if (conn->HasPendingOutput()) pending = true;
+        fds.push_back({conn->fd, POLLOUT, 0});
+        polled_ids.push_back(id);
       }
     }
-    if (!pending) break;
-    ::poll(nullptr, 0, 10);
+    if (fds.empty()) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int ready = ::poll(fds.data(), fds.size(), std::min(wait_ms, 50));
+    if (ready < 0 && errno != EINTR) break;
+    for (size_t i = 0; i < polled_ids.size(); ++i) {
+      auto it = connections_.find(polled_ids[i]);
+      if (it == connections_.end()) continue;
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        ::close(it->second->fd);
+        connections_.erase(it);
+        continue;
+      }
+      if ((fds[i].revents & POLLOUT) && !WriteToConnection(*it->second)) {
+        ::close(it->second->fd);
+        connections_.erase(it);
+      }
+    }
   }
   for (auto& [id, conn] : connections_) ::close(conn->fd);
   connections_.clear();
@@ -262,6 +363,7 @@ bool AtrServer::ReadFromConnection(Connection& conn) {
   for (;;) {
     const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
+      conn.last_activity = std::chrono::steady_clock::now();
       conn.parser.Feed(chunk, static_cast<size_t>(n));
       if (static_cast<size_t>(n) < sizeof(chunk)) break;
       continue;
@@ -304,6 +406,12 @@ void AtrServer::QueueFrame(Connection& conn, std::vector<uint8_t> frame) {
   } else {
     conn.out.insert(conn.out.end(), frame.begin(), frame.end());
   }
+  // A peer that keeps issuing requests without reading responses would
+  // otherwise grow this buffer without bound; past the high-water mark the
+  // connection is condemned (the network loop closes it this round).
+  if (conn.out.size() - conn.out_offset > options_.max_output_buffer_bytes) {
+    conn.overflowed = true;
+  }
 }
 
 void AtrServer::SendError(Connection& conn, uint64_t request_id,
@@ -316,11 +424,15 @@ void AtrServer::SendError(Connection& conn, uint64_t request_id,
   QueueFrame(conn, error.EncodeFrame());
 }
 
-uint32_t AtrServer::RetryAfterMs() const {
+uint32_t AtrServer::RetryAfterMs(const std::string& tenant) const {
   // Scale the base hint by how deep the pending queue is relative to the
   // worker pool: a barely-full queue suggests a short wait, a queue many
-  // jobs deep per worker suggests a longer one.
-  const size_t load = service_->QueueLoad();
+  // jobs deep per worker suggests a longer one. A named tenant's hint
+  // scales with its OWN backlog — under fair-share dispatch a light
+  // tenant behind a heavy one is served after at most one DRR cycle, so
+  // the global queue depth would wildly overstate its wait.
+  const size_t load = tenant.empty() ? service_->QueueLoad()
+                                     : service_->TenantLoad(tenant);
   const size_t workers = std::max(1, service_->Workers());
   const uint64_t scaled =
       uint64_t(options_.retry_after_base_ms) * (1 + load / workers);
@@ -456,13 +568,18 @@ void AtrServer::HandleSubmit(Connection& conn, const SubmitRequest& request) {
     NotifyJobDone(id);
   };
 
-  StatusOr<JobHandle> handle = service_->TrySubmit(
-      request.graph, request.solver, request.options.ToSolverOptions(), done);
+  AtrService::SubmitOptions submit_options;
+  submit_options.tenant = request.tenant;
+  submit_options.priority = request.priority;
+  StatusOr<JobHandle> handle =
+      service_->TrySubmit(request.graph, request.solver,
+                          request.options.ToSolverOptions(), submit_options,
+                          done);
   if (!handle.ok()) {
     const bool saturated =
         handle.status().code() == StatusCode::kResourceExhausted;
     SendError(conn, request.request_id, handle.status(),
-              saturated ? RetryAfterMs() : 0);
+              saturated ? RetryAfterMs(request.tenant) : 0);
     return;
   }
 
@@ -522,6 +639,7 @@ void AtrServer::HandleWait(Connection& conn, const WaitRequest& request) {
     }
     if (!it->second.done) {
       it->second.waiters.emplace_back(conn.id, request.request_id);
+      ++conn.parked_waiters;  // waiting on us — exempt from idle reaping
       return;  // answered by ProcessCompletedJobs when the job finishes
     }
     frame = FinishedJobFrame(request.request_id, it->second);
@@ -620,6 +738,8 @@ void AtrServer::ProcessCompletedJobs() {
   for (auto& [conn_id, frame] : deliveries) {
     auto it = connections_.find(conn_id);
     if (it == connections_.end()) continue;  // waiter hung up; drop it
+    if (it->second->parked_waiters > 0) --it->second->parked_waiters;
+    it->second->last_activity = std::chrono::steady_clock::now();
     QueueFrame(*it->second, std::move(frame));
   }
 }

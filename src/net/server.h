@@ -68,6 +68,19 @@ class AtrServer {
     // Finished jobs are kept addressable for Wait this long (count, not
     // time); the oldest finished job is evicted past the cap.
     size_t finished_jobs_cap = 1024;
+    // Per-connection output high-water mark. A connection whose unsent
+    // response bytes exceed this (a consumer that stopped reading while
+    // still issuing requests) is disconnected with a logged reason rather
+    // than buffering without bound on the network thread's heap.
+    size_t max_output_buffer_bytes = 4u << 20;
+    // Connections with no inbound traffic for this long are closed.
+    // Connections parked on a Wait (or still flushing output) are never
+    // idle-reaped — a long solve is not an idle peer. 0 disables.
+    uint32_t idle_timeout_ms = 0;
+    // Forwarded to AtrService::Options: catalog shard count and the batch
+    // fusion width (0/default = service defaults).
+    int shards = 0;
+    size_t max_batch = 0;
   };
 
   explicit AtrServer(Options options);
@@ -108,6 +121,17 @@ class AtrServer {
   // but skip the persist-on-stop sweep — restore must replay delta logs.
   Status StopWithoutPersist();
 
+  // Observability counters for the connection-hygiene paths.
+  uint64_t slow_consumer_disconnects() const {
+    return slow_consumer_disconnects_.load(std::memory_order_relaxed);
+  }
+  uint64_t idle_disconnects() const {
+    return idle_disconnects_.load(std::memory_order_relaxed);
+  }
+  uint64_t accept_sheds() const {
+    return accept_sheds_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Connection;
   struct JobRecord;
@@ -115,6 +139,8 @@ class AtrServer {
 
   Status OpenListener();
   void Loop();
+  void AcceptNewConnections();
+  void FlushAndCloseAll();
 
   // Reads everything available on `conn`; returns false when the
   // connection is gone (EOF / error / protocol violation).
@@ -141,7 +167,7 @@ class AtrServer {
   // The response frame for a finished job (WaitResponse or kError).
   std::vector<uint8_t> FinishedJobFrame(uint64_t request_id, JobRecord& job);
 
-  uint32_t RetryAfterMs() const;
+  uint32_t RetryAfterMs(const std::string& tenant) const;
 
   Options options_;
   std::unique_ptr<AtrService> service_;
@@ -150,7 +176,16 @@ class AtrServer {
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
+  // Reserve descriptor for the EMFILE shed path: closed to free a slot,
+  // so the pending connection can be accepted, told the server is out of
+  // descriptors, and closed — instead of spinning on accept failures
+  // while the peer hangs forever on an unanswered SYN backlog entry.
+  int spare_fd_ = -1;
   uint16_t port_ = 0;
+
+  std::atomic<uint64_t> slow_consumer_disconnects_{0};
+  std::atomic<uint64_t> idle_disconnects_{0};
+  std::atomic<uint64_t> accept_sheds_{0};
 
   std::thread loop_thread_;
   std::atomic<bool> stop_requested_{false};

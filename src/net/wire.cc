@@ -138,7 +138,7 @@ StatusOr<ErrorResponse> ErrorResponse::Decode(
     return DecodeError("ErrorResponse");
   }
   if (raw_code == 0 ||
-      raw_code > static_cast<uint32_t>(StatusCode::kResourceExhausted)) {
+      raw_code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("ErrorResponse: unknown status code " +
                                    std::to_string(raw_code));
   }
@@ -299,6 +299,8 @@ std::vector<uint8_t> SubmitRequest::EncodeFrame() const {
   w.WriteU64(options.seed);
   w.WriteU32(options.trials);
   w.WriteU8(options.use_incremental ? 1 : 0);
+  w.WriteString(tenant);
+  w.WriteU32(static_cast<uint32_t>(priority));
   return FinishFrame(MsgType::kSubmit, w);
 }
 
@@ -315,6 +317,16 @@ StatusOr<SubmitRequest> SubmitRequest::Decode(
     return DecodeError("SubmitRequest");
   }
   out.options.use_incremental = use_incremental != 0;
+  // Tenancy fields arrived in protocol revision 2; a payload that ends
+  // here is a revision-1 Submit and maps to the default tenant at
+  // priority 0 (docs/PROTOCOL.md, "Version compatibility").
+  if (r.remaining() > 0) {
+    uint32_t raw_priority = 0;
+    if (!r.ReadString(&out.tenant) || !r.ReadU32(&raw_priority)) {
+      return DecodeError("SubmitRequest");
+    }
+    out.priority = static_cast<int32_t>(raw_priority);
+  }
   if (Status s = FinishDecode(r, "SubmitRequest"); !s.ok()) return s;
   return out;
 }

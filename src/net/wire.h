@@ -192,6 +192,11 @@ struct SubmitRequest {
   std::string graph;
   std::string solver;
   WireSolverOptions options;
+  // Fair-share scheduling identity (protocol revision 2). Older clients
+  // omit both trailing fields; the decoder maps that to the default
+  // tenant ("") at priority 0.
+  std::string tenant;
+  int32_t priority = 0;
 
   std::vector<uint8_t> EncodeFrame() const;
   static StatusOr<SubmitRequest> Decode(std::span<const uint8_t> payload);

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <functional>
 #include <utility>
 
 namespace atr {
@@ -193,7 +194,11 @@ Status CatalogStore::SaveBaseSnapshot(const std::string& name,
   // The new base is durable; the log it subsumes resets to empty. A crash
   // between the two leaves stale records at or below the base version,
   // which Load() skips.
-  writers_.erase(name);  // drop the open append handle before the swap
+  {
+    // Drop the open append handle before the swap.
+    std::lock_guard<std::mutex> lock(writers_mu_);
+    writers_.erase(name);
+  }
   Status reset = WriteFileAtomic(DeltaLogPath(name), {});
   if (!reset.ok()) return reset;
 
@@ -204,10 +209,17 @@ Status CatalogStore::SaveBaseSnapshot(const std::string& name,
 }
 
 DeltaLogWriter* CatalogStore::Writer(const std::string& name) {
-  auto it = writers_.find(name);
-  if (it != writers_.end()) return it->second.get();
+  {
+    std::lock_guard<std::mutex> lock(writers_mu_);
+    auto it = writers_.find(name);
+    if (it != writers_.end()) return it->second.get();
+  }
+  // Open outside the lock: one graph's slow open must not stall appends
+  // to every other graph. The caller's per-graph exclusion means no other
+  // thread races THIS name into the map.
   auto writer = std::make_unique<DeltaLogWriter>();
   if (!writer->Open(DeltaLogPath(name)).ok()) return nullptr;
+  std::lock_guard<std::mutex> lock(writers_mu_);
   return writers_.emplace(name, std::move(writer)).first->second.get();
 }
 
@@ -233,7 +245,10 @@ Status CatalogStore::RewriteDeltaLog(const std::string& name,
         EncodeDeltaRecord(record.version, record.delta);
     bytes.insert(bytes.end(), one.begin(), one.end());
   }
-  writers_.erase(name);
+  {
+    std::lock_guard<std::mutex> lock(writers_mu_);
+    writers_.erase(name);
+  }
   return WriteFileAtomic(DeltaLogPath(name), bytes);
 }
 
@@ -308,12 +323,16 @@ Status PersistentCatalog::RestoreOne(const std::string& name) {
   return Status::Ok();
 }
 
+std::mutex& PersistentCatalog::StripeFor(const std::string& name) {
+  return stripes_[std::hash<std::string>{}(name) % kLockStripes];
+}
+
 Status PersistentCatalog::AddGraph(const std::string& name, Graph graph) {
   if (!CatalogStore::ValidGraphName(name)) {
     return Status::InvalidArgument("PersistentCatalog: invalid graph name \"" +
                                    name + "\"");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(StripeFor(name));
   Status added = service_.AddGraph(name, std::move(graph));
   if (!added.ok()) return added;
   // Pay the one build now; the base snapshot needs the decomposition and a
@@ -326,7 +345,7 @@ Status PersistentCatalog::AddGraph(const std::string& name, Graph graph) {
 
 StatusOr<GraphSnapshot> PersistentCatalog::UpdateGraph(
     const std::string& name, const GraphDelta& delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(StripeFor(name));
   StatusOr<GraphSnapshot> updated = service_.UpdateGraph(name, delta);
   if (!updated.ok()) return updated;
   if (options_.compact_threshold > 0) {
@@ -340,7 +359,7 @@ StatusOr<GraphSnapshot> PersistentCatalog::UpdateGraph(
 }
 
 Status PersistentCatalog::Compact(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(StripeFor(name));
   return CompactLocked(name);
 }
 
@@ -355,10 +374,10 @@ Status PersistentCatalog::CompactLocked(const std::string& name) {
 }
 
 Status PersistentCatalog::PersistAll() {
-  std::lock_guard<std::mutex> lock(mu_);
   Status first_error = Status::Ok();
   for (const std::string& name : service_.GraphNames()) {
     if (!CatalogStore::ValidGraphName(name)) continue;  // not persisted
+    std::lock_guard<std::mutex> lock(StripeFor(name));
     Status compacted = CompactLocked(name);
     if (!compacted.ok() && first_error.ok()) first_error = compacted;
   }

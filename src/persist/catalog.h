@@ -30,16 +30,19 @@
 //     from its predecessor (still no rebuild), and a torn log tail from a
 //     mid-append crash is dropped and truncated away.
 //
-// Thread-safety: PersistentCatalog serializes its own mutating calls
-// (AddGraph / UpdateGraph / Compact / PersistAll) behind one mutex.
-// Mutate cataloged graphs ONLY through it — calling
-// AtrService::UpdateGraph directly on a persisted graph would still log
-// the delta (the listener fires) but could interleave with a concurrent
-// compaction's log reset and lose the record.
+// Thread-safety: PersistentCatalog serializes mutating calls (AddGraph /
+// UpdateGraph / Compact) PER GRAPH behind striped locks, so updates to
+// different graphs persist in parallel — matching the service's sharded
+// catalog. PersistAll takes each graph's stripe in turn. Mutate cataloged
+// graphs ONLY through it — calling AtrService::UpdateGraph directly on a
+// persisted graph would still log the delta (the listener fires) but
+// could interleave with a concurrent compaction's log reset and lose the
+// record.
 
 #ifndef ATR_PERSIST_CATALOG_H_
 #define ATR_PERSIST_CATALOG_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -56,8 +59,9 @@ namespace atr {
 namespace persist {
 
 // Disk-layout half: file and directory operations, no service knowledge.
-// Methods are not synchronized — PersistentCatalog (or a test) provides
-// the exclusion.
+// Per-graph exclusion is the caller's job (PersistentCatalog's striped
+// locks, or a test); the open-writer table itself is internally
+// synchronized so operations on DIFFERENT graphs may run concurrently.
 class CatalogStore {
  public:
   explicit CatalogStore(std::string root) : root_(std::move(root)) {}
@@ -112,6 +116,10 @@ class CatalogStore {
   DeltaLogWriter* Writer(const std::string& name);
 
   std::string root_;
+  // Guards the writers_ MAP (lookup / insert / erase), not the writers:
+  // append I/O on one graph's writer happens outside the lock, relying on
+  // the caller's per-graph exclusion.
+  std::mutex writers_mu_;
   std::map<std::string, std::unique_ptr<DeltaLogWriter>> writers_;
 };
 
@@ -164,12 +172,16 @@ class PersistentCatalog {
  private:
   Status RestoreOne(const std::string& name);
   Status CompactLocked(const std::string& name);
+  std::mutex& StripeFor(const std::string& name);
 
   AtrService& service_;
   Options options_;
   CatalogStore store_;
   RestoreStats restore_stats_;
-  std::mutex mu_;  // serializes AddGraph / UpdateGraph / Compact
+  // Striped per-graph locks: same graph serializes, different graphs
+  // persist concurrently (collisions just serialize harmlessly).
+  static constexpr size_t kLockStripes = 16;
+  std::array<std::mutex, kLockStripes> stripes_;
 };
 
 }  // namespace persist

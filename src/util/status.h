@@ -26,6 +26,10 @@ enum class StatusCode {
   // caller should back off and retry. The networked front end maps this to
   // a structured reject carrying a retry-after hint (docs/PROTOCOL.md).
   kResourceExhausted = 6,
+  // An I/O deadline elapsed before the operation completed (e.g. a client
+  // configured with AtrClientOptions::io_timeout_ms talking to a hung
+  // server). The operation may or may not have taken effect remotely.
+  kDeadlineExceeded = 7,
 };
 
 // Value-semantic error carrier. An engaged message is only present for
@@ -55,6 +59,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +84,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "kInternal";
     case StatusCode::kCancelled: return "kCancelled";
     case StatusCode::kResourceExhausted: return "kResourceExhausted";
+    case StatusCode::kDeadlineExceeded: return "kDeadlineExceeded";
   }
   return "kInternal";
 }

@@ -79,6 +79,24 @@ TEST(WireCodec, SubmitRequestRoundTrips) {
   EXPECT_EQ(decoded->options.seed, 99u);
   EXPECT_EQ(decoded->options.trials, 17u);
   EXPECT_TRUE(decoded->options.use_incremental);
+  EXPECT_EQ(decoded->tenant, "");
+  EXPECT_EQ(decoded->priority, 0);
+}
+
+TEST(WireCodec, SubmitRequestCarriesTenantAndPriority) {
+  SubmitRequest request;
+  request.request_id = 43;
+  request.graph = "social";
+  request.solver = "gas";
+  request.options.budget = 2;
+  request.tenant = "acme";
+  request.priority = -3;
+
+  StatusOr<SubmitRequest> decoded =
+      SubmitRequest::Decode(PayloadOf(request.EncodeFrame(), MsgType::kSubmit));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->tenant, "acme");
+  EXPECT_EQ(decoded->priority, -3);
 }
 
 TEST(WireCodec, WaitResponseRoundTrips) {
@@ -149,9 +167,20 @@ TEST(WireCodec, DecodersRejectTruncationAndTrailingBytes) {
   const std::vector<uint8_t> frame = request.EncodeFrame();
   const std::span<const uint8_t> payload(frame.data() + 8, frame.size() - 8);
 
+  // One prefix is legitimately decodable: the frame minus the revision-2
+  // tenant + priority trailer IS a well-formed revision-1 SubmitRequest
+  // (old clients still speak it), and must decode to the defaults.
+  const size_t rev1_len = payload.size() - 8;
   for (size_t len = 0; len < payload.size(); ++len) {
-    EXPECT_FALSE(SubmitRequest::Decode(payload.subspan(0, len)).ok())
-        << "prefix " << len;
+    StatusOr<SubmitRequest> truncated =
+        SubmitRequest::Decode(payload.subspan(0, len));
+    if (len == rev1_len) {
+      ASSERT_TRUE(truncated.ok()) << "rev-1 prefix " << len;
+      EXPECT_EQ(truncated->tenant, "");
+      EXPECT_EQ(truncated->priority, 0);
+    } else {
+      EXPECT_FALSE(truncated.ok()) << "prefix " << len;
+    }
   }
   std::vector<uint8_t> padded(payload.begin(), payload.end());
   padded.push_back(0);
@@ -429,6 +458,163 @@ TEST(ServerIntegration, OversizeFrameDropsConnectionButServerSurvives) {
   // Fresh connections are unaffected.
   AtrClient after = fixture.MakeClient();
   EXPECT_TRUE(after.Ping().ok());
+}
+
+// A raw blocking TCP connection to the fixture's port.
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+TEST(ServerIntegration, SlowConsumerIsDisconnected) {
+  AtrServer::Options options;
+  options.max_output_buffer_bytes = 256u << 10;
+  ServerFixture fixture(options);
+  // Many long graph names make each ListGraphs response a few KB, so the
+  // non-reading client below fills the kernel buffers and then the
+  // server-side output buffer quickly.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(fixture.server()
+                    .AddGraph(std::string(180, 'a') + std::to_string(i),
+                              ServedGraph(uint64_t(i)))
+                    .ok());
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  // A tiny receive buffer keeps the in-flight TCP window small: almost
+  // all response bytes stay server-side, first in its socket buffer, then
+  // in the connection's output buffer.
+  const int rcvbuf = 8 << 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fixture.server().port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Fire ListGraphs requests in waves and never read a byte back. The
+  // server must cut the connection once its unsent output passes the
+  // high-water mark instead of buffering forever.
+  ListGraphsRequest request;
+  std::vector<uint8_t> wave;
+  for (int i = 0; i < 200; ++i) {
+    request.request_id = uint64_t(i) + 1;
+    const std::vector<uint8_t> frame = request.EncodeFrame();
+    wave.insert(wave.end(), frame.begin(), frame.end());
+  }
+  bool disconnected = false;
+  for (int round = 0; round < 40 && !disconnected; ++round) {
+    size_t sent = 0;
+    while (sent < wave.size()) {
+      const ssize_t n = ::send(fd, wave.data() + sent, wave.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        disconnected = true;  // RST from the server's close
+        break;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(disconnected);
+  ::close(fd);
+
+  EXPECT_GE(fixture.server().slow_consumer_disconnects(), 1u);
+  // The server itself is unharmed.
+  AtrClient after = fixture.MakeClient();
+  EXPECT_TRUE(after.Ping().ok());
+}
+
+TEST(ServerIntegration, IdleConnectionIsReaped) {
+  AtrServer::Options options;
+  options.idle_timeout_ms = 100;
+  ServerFixture fixture(options);
+
+  const int fd = RawConnect(fixture.server().port());
+  PingRequest ping;
+  ping.request_id = 1;
+  const std::vector<uint8_t> frame = ping.EncodeFrame();
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  uint8_t buffer[64];
+  ASSERT_GT(::recv(fd, buffer, sizeof(buffer), 0), 0);  // the PingResponse
+
+  // Then go quiet. The server reaps the connection after idle_timeout_ms:
+  // the blocking recv returns EOF instead of hanging.
+  EXPECT_EQ(::recv(fd, buffer, sizeof(buffer), 0), 0);
+  ::close(fd);
+  EXPECT_GE(fixture.server().idle_disconnects(), 1u);
+
+  // An active client is never reaped: keep pinging past the timeout.
+  AtrClient busy = fixture.MakeClient();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(busy.Ping().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+}
+
+TEST(ServerIntegration, TenantAndPrioritySubmitOverTcp) {
+  ServerFixture fixture;
+  ASSERT_TRUE(fixture.server().AddGraph("social", ServedGraph()).ok());
+  AtrClient client = fixture.MakeClient();
+
+  WireSolverOptions options;
+  options.budget = 3;
+  StatusOr<uint64_t> plain = client.Submit("social", "gas", options);
+  ASSERT_TRUE(plain.ok());
+  StatusOr<WireSolveResult> plain_result = client.Wait(*plain);
+  ASSERT_TRUE(plain_result.ok());
+
+  StatusOr<uint64_t> tenant_job =
+      client.Submit("social", "gas", options, "acme", 7);
+  ASSERT_TRUE(tenant_job.ok());
+  StatusOr<WireSolveResult> tenant_result = client.Wait(*tenant_job);
+  ASSERT_TRUE(tenant_result.ok());
+
+  // Tenancy routes scheduling, never results.
+  EXPECT_EQ(tenant_result->anchor_edges, plain_result->anchor_edges);
+  EXPECT_EQ(tenant_result->total_gain, plain_result->total_gain);
+}
+
+TEST(ClientDeadline, SilentServerYieldsDeadlineExceeded) {
+  // A socket that accepts the TCP handshake (listen backlog) but never
+  // reads or answers: without a deadline the client would block forever.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len),
+            0);
+
+  AtrClientOptions client_options;
+  client_options.io_timeout_ms = 200;
+  AtrClient client(client_options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", ntohs(bound.sin_port)).ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = client.Ping();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded) << status.message();
+  // Bounded wait, not a hang: generous upper bound for slow CI machines.
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  ::close(listener);
 }
 
 // --- Restart-resume over the wire (satellite: kill and resume) ------------
