@@ -75,4 +75,11 @@ client shutdown > /dev/null                       || fail "shutdown request"
 wait "$SERVER_PID" || fail "server exited non-zero on client shutdown"
 SERVER_PID=""
 
+# --- No leaked server processes -------------------------------------------
+# Both lives used this run's unique temp dir on their command line, so any
+# surviving atr_server matching it is a process this script leaked.
+if pgrep -f "atr_server.*$WORK" > /dev/null 2>&1; then
+  fail "leaked atr_server process still running after shutdown"
+fi
+
 echo "server smoke: OK (restart resumed version 3 with zero rebuilds)"

@@ -1,15 +1,8 @@
 #include "net/server.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
+#include <cerrno>
 
 #include <algorithm>
-#include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -41,7 +34,7 @@ struct AtrServer::Connection {
   // Wait requests parked on unfinished jobs; a connection with one is
   // waiting on the server, not idling.
   size_t parked_waiters = 0;
-  std::chrono::steady_clock::time_point last_activity;
+  int64_t last_activity_ms = 0;  // Transport::NowMs clock
 
   bool HasPendingOutput() const { return out_offset < out.size(); }
 };
@@ -63,14 +56,17 @@ struct AtrServer::SubmitToken {
   bool fired = false;
 };
 
-AtrServer::AtrServer(Options options) : options_(std::move(options)) {}
+AtrServer::AtrServer(Options options)
+    : options_(std::move(options)),
+      transport_(options_.transport != nullptr ? options_.transport
+                                               : &DefaultTransport()) {}
 
 AtrServer::~AtrServer() {
   if (started_ && !stopped_) Stop();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
-  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
-  if (spare_fd_ >= 0) ::close(spare_fd_);
+  if (listen_fd_ >= 0) transport_->Close(listen_fd_);
+  if (wake_read_fd_ >= 0) transport_->Close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) transport_->Close(wake_write_fd_);
+  if (spare_fd_ >= 0) transport_->Close(spare_fd_);
 }
 
 Status AtrServer::Start() {
@@ -92,57 +88,19 @@ Status AtrServer::Start() {
     if (Status s = catalog_->Open(); !s.ok()) return s;
   }
 
-  if (Status s = OpenListener(); !s.ok()) return s;
-
-  int pipe_fds[2];
-  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
-    return Status::Internal(std::string("AtrServer: pipe2 failed: ") +
-                            std::strerror(errno));
+  if (Status s = transport_->OpenListener(options_.host, options_.port,
+                                          &listen_fd_, &port_);
+      !s.ok()) {
+    return s;
   }
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
-  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  if (Status s = transport_->OpenWakePipe(&wake_read_fd_, &wake_write_fd_);
+      !s.ok()) {
+    return s;
+  }
+  spare_fd_ = transport_->OpenSpare();
 
   started_ = true;
   loop_thread_ = std::thread([this] { Loop(); });
-  return Status::Ok();
-}
-
-Status AtrServer::OpenListener() {
-  listen_fd_ =
-      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("AtrServer: socket failed: ") +
-                            std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("AtrServer: bad host address " +
-                                   options_.host);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return Status::Internal("AtrServer: bind to " + options_.host + ":" +
-                            std::to_string(options_.port) +
-                            " failed: " + std::strerror(errno));
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    return Status::Internal(std::string("AtrServer: listen failed: ") +
-                            std::strerror(errno));
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
-      0) {
-    return Status::Internal(std::string("AtrServer: getsockname failed: ") +
-                            std::strerror(errno));
-  }
-  port_ = ntohs(bound.sin_port);
   return Status::Ok();
 }
 
@@ -158,7 +116,9 @@ void AtrServer::RequestStop() {
   stop_requested_.store(true, std::memory_order_release);
   if (wake_write_fd_ >= 0) {
     const uint8_t byte = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+    int err = 0;
+    [[maybe_unused]] ssize_t n =
+        transport_->Write(wake_write_fd_, &byte, 1, &err);
   }
 }
 
@@ -206,15 +166,18 @@ void AtrServer::Loop() {
       polled_ids.push_back(id);
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), tick_ms);
+    int poll_err = 0;
+    const int ready =
+        transport_->Poll(fds.data(), fds.size(), tick_ms, &poll_err);
     if (ready < 0) {
-      if (errno == EINTR) continue;
+      if (poll_err == EINTR) continue;
       break;  // poll broken beyond repair; shut the loop down
     }
 
     if (fds[1].revents & POLLIN) {
       uint8_t drain[256];
-      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      int err = 0;
+      while (transport_->Read(wake_read_fd_, drain, sizeof(drain), &err) > 0) {
       }
     }
     ProcessCompletedJobs();
@@ -224,7 +187,7 @@ void AtrServer::Loop() {
 
     // Connections accepted above were not in this poll round; only the
     // ids snapshotted into polled_ids have meaningful revents.
-    const auto now = std::chrono::steady_clock::now();
+    const int64_t now = transport_->NowMs();
     std::vector<int> dead;
     for (size_t i = 0; i < polled_ids.size(); ++i) {
       auto it = connections_.find(polled_ids[i]);
@@ -248,8 +211,8 @@ void AtrServer::Loop() {
       }
       if (alive && options_.idle_timeout_ms > 0 && conn.parked_waiters == 0 &&
           !conn.HasPendingOutput() &&
-          now - conn.last_activity >=
-              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+          now - conn.last_activity_ms >=
+              static_cast<int64_t>(options_.idle_timeout_ms)) {
         idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
         alive = false;
       }
@@ -257,7 +220,7 @@ void AtrServer::Loop() {
       if (!alive) dead.push_back(polled_ids[i]);
     }
     for (const int id : dead) {
-      ::close(connections_[id]->fd);
+      transport_->Close(connections_[id]->fd);
       connections_.erase(id);
     }
   }
@@ -267,31 +230,32 @@ void AtrServer::Loop() {
 
 void AtrServer::AcceptNewConnections() {
   for (;;) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    int err = 0;
+    const int fd = transport_->Accept(listen_fd_, &err);
     if (fd >= 0) {
       auto conn = std::make_unique<Connection>();
       conn->id = next_connection_id_++;
       conn->fd = fd;
-      conn->last_activity = std::chrono::steady_clock::now();
+      conn->last_activity_ms = transport_->NowMs();
       connections_[conn->id] = std::move(conn);
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    if (errno == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) return;
+    if (err == EINTR) continue;
     // The peer gave up between SYN and accept; not our problem.
-    if (errno == ECONNABORTED || errno == EPROTO) continue;
-    if (errno == EMFILE || errno == ENFILE) {
+    if (err == ECONNABORTED || err == EPROTO) continue;
+    if (err == EMFILE || err == ENFILE) {
       // Out of descriptors. Leaving the connection in the backlog would
       // make the peer block forever AND re-trigger POLLIN on the listener
       // every loop tick. Free the reserve descriptor, accept the pending
       // connection into the freed slot, answer it with a structured
       // kResourceExhausted error, and close it.
       if (spare_fd_ >= 0) {
-        ::close(spare_fd_);
+        transport_->Close(spare_fd_);
         spare_fd_ = -1;
       }
-      const int shed = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      int shed_err = 0;
+      const int shed = transport_->Accept(listen_fd_, &shed_err);
       if (shed >= 0) {
         ErrorResponse error;
         error.request_id = 0;  // connection-level: no request in flight yet
@@ -299,11 +263,12 @@ void AtrServer::AcceptNewConnections() {
         error.message = "server is out of file descriptors";
         error.retry_after_ms = RetryAfterMs("");
         const std::vector<uint8_t> frame = error.EncodeFrame();
-        [[maybe_unused]] ssize_t n = ::send(shed, frame.data(), frame.size(),
-                                            MSG_NOSIGNAL | MSG_DONTWAIT);
-        ::close(shed);
+        int send_err = 0;
+        [[maybe_unused]] ssize_t n =
+            transport_->Write(shed, frame.data(), frame.size(), &send_err);
+        transport_->Close(shed);
       }
-      spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+      spare_fd_ = transport_->OpenSpare();
       accept_sheds_.fetch_add(1, std::memory_order_relaxed);
       std::fprintf(stderr,
                    "atr-server: out of file descriptors; shed one pending "
@@ -319,11 +284,14 @@ void AtrServer::AcceptNewConnections() {
 // Waits on the sockets themselves rather than sleeping blind, and drops
 // peers that error out instead of retrying them for the full budget.
 void AtrServer::FlushAndCloseAll() {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  const int64_t deadline_ms = transport_->NowMs() + 1000;
   std::vector<pollfd> fds;
   std::vector<int> polled_ids;
-  for (;;) {
+  // The round cap is a second bound alongside the deadline: under a
+  // SimTransport whose virtual clock is frozen, a peer with no write
+  // space would otherwise pin this drain loop forever. With the real
+  // clock the 1 s deadline always fires first (each round polls ≤ 50 ms).
+  for (int round = 0; round < 200; ++round) {
     fds.clear();
     polled_ids.clear();
     for (auto& [id, conn] : connections_) {
@@ -333,44 +301,49 @@ void AtrServer::FlushAndCloseAll() {
       }
     }
     if (fds.empty()) break;
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) break;
-    const int wait_ms = static_cast<int>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
-            .count());
-    const int ready = ::poll(fds.data(), fds.size(), std::min(wait_ms, 50));
-    if (ready < 0 && errno != EINTR) break;
+    const int64_t now_ms = transport_->NowMs();
+    if (now_ms >= deadline_ms) break;
+    const int wait_ms = static_cast<int>(deadline_ms - now_ms);
+    int poll_err = 0;
+    const int ready = transport_->Poll(fds.data(), fds.size(),
+                                       std::min(wait_ms, 50), &poll_err);
+    if (ready < 0 && poll_err != EINTR) break;
     for (size_t i = 0; i < polled_ids.size(); ++i) {
       auto it = connections_.find(polled_ids[i]);
       if (it == connections_.end()) continue;
       if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
-        ::close(it->second->fd);
+        transport_->Close(it->second->fd);
         connections_.erase(it);
         continue;
       }
       if ((fds[i].revents & POLLOUT) && !WriteToConnection(*it->second)) {
-        ::close(it->second->fd);
+        transport_->Close(it->second->fd);
         connections_.erase(it);
       }
     }
   }
-  for (auto& [id, conn] : connections_) ::close(conn->fd);
+  for (auto& [id, conn] : connections_) transport_->Close(conn->fd);
   connections_.clear();
 }
 
 bool AtrServer::ReadFromConnection(Connection& conn) {
   uint8_t chunk[1 << 16];
+  bool peer_eof = false;
   for (;;) {
-    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    int err = 0;
+    const ssize_t n = transport_->Read(conn.fd, chunk, sizeof(chunk), &err);
     if (n > 0) {
-      conn.last_activity = std::chrono::steady_clock::now();
+      conn.last_activity_ms = transport_->NowMs();
       conn.parser.Feed(chunk, static_cast<size_t>(n));
       if (static_cast<size_t>(n) < sizeof(chunk)) break;
       continue;
     }
-    if (n == 0) return false;  // peer closed
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
+    if (n == 0) {
+      peer_eof = true;
+      break;
+    }
+    if (err == EAGAIN || err == EWOULDBLOCK) break;
+    if (err == EINTR) continue;
     return false;
   }
   while (std::optional<Frame> frame = conn.parser.Next()) {
@@ -378,20 +351,31 @@ bool AtrServer::ReadFromConnection(Connection& conn) {
   }
   // A poisoned parser (oversize frame) means the stream is garbage;
   // protocol violations cost the connection.
-  return conn.parser.ok();
+  if (!conn.parser.ok()) return false;
+  if (peer_eof) {
+    // The peer half-closed after (possibly) pipelining requests. Those
+    // frames were dispatched above and their responses belong to the
+    // peer's still-open read side: mark the connection closing so the
+    // loop flushes the queued output and only then closes. Returning
+    // false here used to drop every pipelined response on the floor.
+    conn.closing = true;
+    if (!conn.HasPendingOutput()) return false;
+  }
+  return true;
 }
 
 bool AtrServer::WriteToConnection(Connection& conn) {
   while (conn.HasPendingOutput()) {
+    int err = 0;
     const ssize_t n =
-        ::send(conn.fd, conn.out.data() + conn.out_offset,
-               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+        transport_->Write(conn.fd, conn.out.data() + conn.out_offset,
+                          conn.out.size() - conn.out_offset, &err);
     if (n > 0) {
       conn.out_offset += static_cast<size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (err == EAGAIN || err == EWOULDBLOCK)) return true;
+    if (n < 0 && err == EINTR) continue;
     return false;
   }
   conn.out.clear();
@@ -707,7 +691,9 @@ void AtrServer::NotifyJobDone(uint64_t job_id) {
   }
   if (wake_write_fd_ >= 0) {
     const uint8_t byte = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+    int err = 0;
+    [[maybe_unused]] ssize_t n =
+        transport_->Write(wake_write_fd_, &byte, 1, &err);
   }
 }
 
@@ -739,7 +725,7 @@ void AtrServer::ProcessCompletedJobs() {
     auto it = connections_.find(conn_id);
     if (it == connections_.end()) continue;  // waiter hung up; drop it
     if (it->second->parked_waiters > 0) --it->second->parked_waiters;
-    it->second->last_activity = std::chrono::steady_clock::now();
+    it->second->last_activity_ms = transport_->NowMs();
     QueueFrame(*it->second, std::move(frame));
   }
 }

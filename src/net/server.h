@@ -29,6 +29,15 @@
 // and Stop()/Wait() joins. StopWithoutPersist() is the crash-simulation
 // hook for the restart tests: it skips the shutdown compaction sweep, so
 // restore must come entirely from base ⊕ delta log.
+//
+// I/O seam: every syscall the loop makes (poll/accept/read/write/close
+// plus the monotonic clock) goes through the Transport interface
+// (net/transport.h). Options::transport defaults to the process-wide
+// PosixTransport — real sockets, unchanged production behavior. Tests,
+// the connection-state-machine fuzzer, and the churn soak install a
+// SimTransport (net/sim_transport.h) instead and drive this exact loop
+// from scripted byte streams with injected partial reads, short writes,
+// errno faults, EMFILE accepts, and virtual time.
 
 #ifndef ATR_NET_SERVER_H_
 #define ATR_NET_SERVER_H_
@@ -43,6 +52,7 @@
 #include <vector>
 
 #include "api/service.h"
+#include "net/transport.h"
 #include "net/wire.h"
 #include "persist/catalog.h"
 #include "util/status.h"
@@ -81,6 +91,9 @@ class AtrServer {
     // fusion width (0/default = service defaults).
     int shards = 0;
     size_t max_batch = 0;
+    // The I/O seam. nullptr = the process-wide PosixTransport (real
+    // sockets). Non-owning: the transport must outlive the server.
+    Transport* transport = nullptr;
   };
 
   explicit AtrServer(Options options);
@@ -137,7 +150,6 @@ class AtrServer {
   struct JobRecord;
   struct SubmitToken;
 
-  Status OpenListener();
   void Loop();
   void AcceptNewConnections();
   void FlushAndCloseAll();
@@ -170,6 +182,7 @@ class AtrServer {
   uint32_t RetryAfterMs(const std::string& tenant) const;
 
   Options options_;
+  Transport* transport_ = nullptr;  // never null after construction
   std::unique_ptr<AtrService> service_;
   std::unique_ptr<persist::PersistentCatalog> catalog_;
 

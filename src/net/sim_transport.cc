@@ -1,0 +1,508 @@
+#include "net/sim_transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+
+namespace atr {
+namespace net {
+namespace sim_internal {
+
+// One simulated connection, shared between the server side (through fake
+// descriptors) and the test side (through SimTransport::Connection
+// handles). Guarded by Core::mu.
+struct ConnState {
+  std::deque<uint8_t> to_server;   // client → server, not yet read
+  std::vector<uint8_t> to_client;  // server → client, not yet taken
+  bool client_closed = false;      // EOF once to_server drains
+  bool server_closed = false;
+  bool accepted = false;
+  int reset_err = 0;       // sticky read error
+  int fail_next_read = 0;  // one-shot injected errno
+  int fail_next_write = 0;
+  size_t max_read_chunk = SIZE_MAX;
+  size_t max_write_chunk = SIZE_MAX;
+  size_t write_space = SIZE_MAX;  // to_client bytes before EAGAIN
+  uint64_t total_written = 0;
+};
+
+// The whole simulated network. Connection handles share ownership so
+// they stay safe after the SimTransport itself is destroyed.
+struct Core {
+  enum class Kind { kListener, kPipeRead, kPipeWrite, kSpare, kConn };
+  struct Endpoint {
+    Kind kind;
+    std::shared_ptr<ConnState> conn;  // kConn only
+  };
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+
+  int64_t now_ms = 0;
+  bool auto_advance = false;
+  int idle_poll_real_ms = 50;
+
+  std::map<int, Endpoint> fds;
+  int next_fd = 1000;  // far from any real descriptor, eases debugging
+
+  std::deque<std::shared_ptr<ConnState>> backlog;
+  std::deque<int> accept_errors;
+  size_t pipe_bytes = 0;
+  uint64_t accepts = 0;
+};
+
+}  // namespace sim_internal
+
+using sim_internal::ConnState;
+using sim_internal::Core;
+using Kind = sim_internal::Core::Kind;
+
+// --- Connection (test side) -----------------------------------------------
+
+SimTransport::Connection::Connection(std::shared_ptr<Core> core,
+                                     std::shared_ptr<ConnState> state)
+    : core_(std::move(core)), state_(std::move(state)) {}
+
+void SimTransport::Connection::Send(const void* data, size_t len) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  state_->to_server.insert(state_->to_server.end(), bytes, bytes + len);
+  core_->cv.notify_all();
+}
+
+void SimTransport::Connection::Send(const std::vector<uint8_t>& bytes) {
+  Send(bytes.data(), bytes.size());
+}
+
+void SimTransport::Connection::Close() {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  state_->client_closed = true;
+  core_->cv.notify_all();
+}
+
+void SimTransport::Connection::Reset(int err) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  state_->reset_err = err;
+  core_->cv.notify_all();
+}
+
+std::vector<uint8_t> SimTransport::Connection::TakeOutput() {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  std::vector<uint8_t> out = std::move(state_->to_client);
+  state_->to_client.clear();
+  core_->cv.notify_all();  // freed write space unblocks POLLOUT
+  return out;
+}
+
+bool SimTransport::Connection::WaitForOutput(size_t min_unread,
+                                             int timeout_real_ms) {
+  std::unique_lock<std::mutex> lock(core_->mu);
+  return core_->cv.wait_for(lock, std::chrono::milliseconds(timeout_real_ms),
+                            [&] {
+                              return state_->to_client.size() >= min_unread ||
+                                     state_->server_closed;
+                            }) &&
+         state_->to_client.size() >= min_unread;
+}
+
+bool SimTransport::Connection::WaitClosedByServer(int timeout_real_ms) {
+  std::unique_lock<std::mutex> lock(core_->mu);
+  return core_->cv.wait_for(lock, std::chrono::milliseconds(timeout_real_ms),
+                            [&] { return state_->server_closed; });
+}
+
+bool SimTransport::Connection::closed_by_server() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return state_->server_closed;
+}
+
+bool SimTransport::Connection::accepted_by_server() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return state_->accepted;
+}
+
+size_t SimTransport::Connection::pending_input() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return state_->to_server.size();
+}
+
+bool SimTransport::Connection::WaitForInputDrained(int timeout_real_ms) {
+  std::unique_lock<std::mutex> lock(core_->mu);
+  return core_->cv.wait_for(
+      lock, std::chrono::milliseconds(timeout_real_ms),
+      [&] { return state_->to_server.empty() || state_->server_closed; });
+}
+
+size_t SimTransport::Connection::pending_output() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return state_->to_client.size();
+}
+
+uint64_t SimTransport::Connection::total_output_bytes() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return state_->total_written;
+}
+
+void SimTransport::Connection::set_max_read_chunk(size_t n) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  state_->max_read_chunk = n;
+}
+
+void SimTransport::Connection::set_max_write_chunk(size_t n) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  state_->max_write_chunk = n;
+}
+
+void SimTransport::Connection::set_write_space(size_t n) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  state_->write_space = n;
+  core_->cv.notify_all();
+}
+
+void SimTransport::Connection::FailNextRead(int err) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  state_->fail_next_read = err;
+  core_->cv.notify_all();
+}
+
+void SimTransport::Connection::FailNextWrite(int err) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  state_->fail_next_write = err;
+  core_->cv.notify_all();
+}
+
+// --- SimTransport (server side) -------------------------------------------
+
+SimTransport::SimTransport() : core_(std::make_shared<Core>()) {}
+SimTransport::~SimTransport() = default;
+
+std::shared_ptr<SimTransport::Connection> SimTransport::Connect() {
+  auto state = std::make_shared<ConnState>();
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->backlog.push_back(state);
+    core_->cv.notify_all();
+  }
+  return std::shared_ptr<Connection>(
+      new Connection(core_, std::move(state)));
+}
+
+void SimTransport::AdvanceTimeMs(int64_t delta_ms) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  core_->now_ms += delta_ms;
+  core_->cv.notify_all();
+}
+
+int64_t SimTransport::now_ms() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->now_ms;
+}
+
+void SimTransport::InjectAcceptError(int err, int times) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  for (int i = 0; i < times; ++i) core_->accept_errors.push_back(err);
+  core_->cv.notify_all();
+}
+
+void SimTransport::set_auto_advance(bool on) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  core_->auto_advance = on;
+  core_->cv.notify_all();
+}
+
+void SimTransport::set_idle_poll_real_ms(int ms) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  core_->idle_poll_real_ms = ms;
+}
+
+int SimTransport::open_connection_fds() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  int n = 0;
+  for (const auto& [fd, ep] : core_->fds) {
+    if (ep.kind == Kind::kConn) ++n;
+  }
+  return n;
+}
+
+int SimTransport::open_fds() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return static_cast<int>(core_->fds.size());
+}
+
+uint64_t SimTransport::accepts() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->accepts;
+}
+
+Status SimTransport::OpenListener(const std::string& host, uint16_t port,
+                                  int* listen_fd, uint16_t* bound_port) {
+  (void)host;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  const int fd = core_->next_fd++;
+  core_->fds[fd] = {Kind::kListener, nullptr};
+  *listen_fd = fd;
+  *bound_port = port != 0 ? port : 1;  // no real port space to draw from
+  return Status::Ok();
+}
+
+Status SimTransport::OpenWakePipe(int* read_fd, int* write_fd) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  const int rfd = core_->next_fd++;
+  const int wfd = core_->next_fd++;
+  core_->fds[rfd] = {Kind::kPipeRead, nullptr};
+  core_->fds[wfd] = {Kind::kPipeWrite, nullptr};
+  *read_fd = rfd;
+  *write_fd = wfd;
+  return Status::Ok();
+}
+
+int SimTransport::OpenSpare() {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  const int fd = core_->next_fd++;
+  core_->fds[fd] = {Kind::kSpare, nullptr};
+  return fd;
+}
+
+int SimTransport::Poll(pollfd* fds, size_t nfds, int timeout_ms, int* err) {
+  (void)err;
+  std::unique_lock<std::mutex> lock(core_->mu);
+  const int64_t deadline =
+      timeout_ms < 0 ? std::numeric_limits<int64_t>::max()
+                     : core_->now_ms + timeout_ms;
+  for (;;) {
+    int ready = 0;
+    for (size_t i = 0; i < nfds; ++i) {
+      fds[i].revents = 0;
+      auto it = core_->fds.find(fds[i].fd);
+      if (it == core_->fds.end()) {
+        fds[i].revents = POLLNVAL;
+        ++ready;
+        continue;
+      }
+      short revents = 0;
+      switch (it->second.kind) {
+        case Kind::kListener:
+          // Injected accept errors alone do not make the listener
+          // readable: the fault attaches to a real pending connection
+          // (kernel EMFILE semantics — the connection is there, the
+          // accept of it fails), so a shed path that retries Accept
+          // after freeing a descriptor finds the connection waiting.
+          if ((fds[i].events & POLLIN) && !core_->backlog.empty()) {
+            revents |= POLLIN;
+          }
+          break;
+        case Kind::kPipeRead:
+          if ((fds[i].events & POLLIN) && core_->pipe_bytes > 0) {
+            revents |= POLLIN;
+          }
+          break;
+        case Kind::kPipeWrite:
+        case Kind::kSpare:
+          break;
+        case Kind::kConn: {
+          const ConnState& s = *it->second.conn;
+          if ((fds[i].events & POLLIN) &&
+              (!s.to_server.empty() || s.client_closed || s.reset_err != 0 ||
+               s.fail_next_read != 0)) {
+            revents |= POLLIN;
+          }
+          if ((fds[i].events & POLLOUT) &&
+              (s.fail_next_write != 0 ||
+               s.to_client.size() < s.write_space)) {
+            revents |= POLLOUT;
+          }
+          break;
+        }
+      }
+      if (revents != 0) {
+        fds[i].revents = revents;
+        ++ready;
+      }
+    }
+    if (ready > 0) return ready;
+    if (timeout_ms == 0 || core_->now_ms >= deadline) return 0;
+    // Nothing ready. Block until the test injects an event or advances
+    // the virtual clock; after a short real-time window either jump the
+    // clock to the deadline (auto-advance: reap/retry paths fire on an
+    // idle loop) or return 0 with the clock frozen (deterministic mode:
+    // the loop stays responsive, time only moves on AdvanceTimeMs).
+    const auto window = std::chrono::milliseconds(
+        core_->auto_advance ? 2 : core_->idle_poll_real_ms);
+    if (core_->cv.wait_for(lock, window) == std::cv_status::timeout) {
+      if (core_->auto_advance) core_->now_ms = deadline;
+      return 0;
+    }
+  }
+}
+
+int SimTransport::Accept(int listen_fd, int* err) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  auto it = core_->fds.find(listen_fd);
+  if (it == core_->fds.end() || it->second.kind != Kind::kListener) {
+    *err = EBADF;
+    return -1;
+  }
+  if (core_->backlog.empty()) {
+    // A queued injected error stays queued until a real connection is
+    // pending — it models a descriptor-exhaustion fault while accepting
+    // that connection, not a phantom readiness event.
+    *err = EAGAIN;
+    return -1;
+  }
+  if (!core_->accept_errors.empty()) {
+    *err = core_->accept_errors.front();
+    core_->accept_errors.pop_front();
+    return -1;
+  }
+  std::shared_ptr<ConnState> conn = core_->backlog.front();
+  core_->backlog.pop_front();
+  const int fd = core_->next_fd++;
+  core_->fds[fd] = {Kind::kConn, conn};
+  conn->accepted = true;
+  ++core_->accepts;
+  core_->cv.notify_all();
+  return fd;
+}
+
+ssize_t SimTransport::Read(int fd, void* buf, size_t len, int* err) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  auto it = core_->fds.find(fd);
+  if (it == core_->fds.end()) {
+    *err = EBADF;
+    return -1;
+  }
+  switch (it->second.kind) {
+    case Kind::kPipeRead: {
+      if (core_->pipe_bytes == 0) {
+        *err = EAGAIN;
+        return -1;
+      }
+      const size_t n = std::min(len, core_->pipe_bytes);
+      std::memset(buf, 1, n);
+      core_->pipe_bytes -= n;
+      return static_cast<ssize_t>(n);
+    }
+    case Kind::kConn: {
+      ConnState& s = *it->second.conn;
+      if (s.fail_next_read != 0) {
+        *err = s.fail_next_read;
+        s.fail_next_read = 0;
+        return -1;
+      }
+      if (s.reset_err != 0) {
+        *err = s.reset_err;
+        return -1;
+      }
+      if (s.to_server.empty()) {
+        if (s.client_closed) return 0;  // clean EOF
+        *err = EAGAIN;
+        return -1;
+      }
+      const size_t n = std::min({len, s.to_server.size(), s.max_read_chunk});
+      if (n == 0) {
+        *err = EAGAIN;
+        return -1;
+      }
+      uint8_t* out = static_cast<uint8_t*>(buf);
+      std::copy(s.to_server.begin(),
+                s.to_server.begin() + static_cast<ptrdiff_t>(n), out);
+      s.to_server.erase(s.to_server.begin(),
+                        s.to_server.begin() + static_cast<ptrdiff_t>(n));
+      core_->cv.notify_all();
+      return static_cast<ssize_t>(n);
+    }
+    default:
+      *err = EBADF;
+      return -1;
+  }
+}
+
+ssize_t SimTransport::Write(int fd, const void* buf, size_t len, int* err) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  auto it = core_->fds.find(fd);
+  if (it == core_->fds.end()) {
+    *err = EBADF;
+    return -1;
+  }
+  switch (it->second.kind) {
+    case Kind::kPipeWrite:
+      core_->pipe_bytes += len;
+      core_->cv.notify_all();
+      return static_cast<ssize_t>(len);
+    case Kind::kConn: {
+      ConnState& s = *it->second.conn;
+      if (s.fail_next_write != 0) {
+        *err = s.fail_next_write;
+        s.fail_next_write = 0;
+        return -1;
+      }
+      const size_t space =
+          s.to_client.size() >= s.write_space
+              ? 0
+              : s.write_space - s.to_client.size();
+      const size_t n = std::min({len, space, s.max_write_chunk});
+      if (n == 0) {
+        *err = EAGAIN;
+        return -1;
+      }
+      const uint8_t* bytes = static_cast<const uint8_t*>(buf);
+      s.to_client.insert(s.to_client.end(), bytes, bytes + n);
+      s.total_written += n;
+      core_->cv.notify_all();
+      return static_cast<ssize_t>(n);
+    }
+    default:
+      *err = EBADF;
+      return -1;
+  }
+}
+
+void SimTransport::Close(int fd) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  auto it = core_->fds.find(fd);
+  if (it == core_->fds.end()) return;
+  if (it->second.kind == Kind::kConn) {
+    it->second.conn->server_closed = true;
+  }
+  core_->fds.erase(it);
+  core_->cv.notify_all();
+}
+
+int64_t SimTransport::NowMs() {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->now_ms;
+}
+
+// --- Helpers ---------------------------------------------------------------
+
+bool PumpFrames(SimTransport::Connection& conn, FrameParser& parser,
+                size_t want, std::vector<Frame>* frames,
+                int timeout_real_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_real_ms);
+  for (;;) {
+    const std::vector<uint8_t> bytes = conn.TakeOutput();
+    if (!bytes.empty()) parser.Feed(bytes.data(), bytes.size());
+    while (std::optional<Frame> frame = parser.Next()) {
+      frames->push_back(std::move(*frame));
+    }
+    if (frames->size() >= want) return true;
+    if (conn.closed_by_server() && conn.pending_output() == 0) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    conn.WaitForOutput(1, std::max(1, remaining));
+  }
+}
+
+}  // namespace net
+}  // namespace atr

@@ -1,0 +1,180 @@
+// SimTransport — an in-process simulated network implementing the
+// Transport seam (net/transport.h), so AtrServer's poll loop can be
+// driven from scripted or fuzzed byte streams with deterministic fault
+// injection and virtual time. No sockets, no kernel buffers, no
+// wall-clock sleeps.
+//
+// Test-side view:
+//
+//   SimTransport sim;                    // must outlive the server
+//   AtrServer::Options options;
+//   options.transport = &sim;
+//   AtrServer server(options);
+//   server.Start();                      // loop thread polls through sim
+//
+//   auto conn = sim.Connect();           // lands on the simulated backlog
+//   conn->Send(ping.EncodeFrame());      // client → server bytes
+//   FrameParser parser;
+//   std::vector<Frame> frames;
+//   PumpFrames(*conn, parser, 1, &frames);   // server → client frames
+//
+// Fault injection (all per connection, all deterministic):
+//
+//   conn->set_max_read_chunk(1);         // server recv returns ≤ 1 byte:
+//                                        // every frame torn at every byte
+//   conn->set_max_write_chunk(7);        // short writes: send accepts ≤ 7
+//   conn->set_write_space(64);           // "kernel buffer" of 64 bytes:
+//                                        // EAGAIN until TakeOutput drains
+//   conn->FailNextRead(EINTR);           // one-shot errno on next recv
+//   conn->FailNextWrite(EPIPE);          // one-shot errno on next send
+//   conn->Reset(ECONNRESET);             // sticky errno on reads
+//   conn->Close();                       // clean EOF after queued bytes
+//   sim.InjectAcceptError(EMFILE);       // next accept fails with EMFILE
+//
+// Virtual time: NowMs() starts at 0 and only moves when the test calls
+// AdvanceTimeMs() — idle-timeout tests advance the clock instead of
+// sleeping, so they are exact at the millisecond boundary. With
+// set_auto_advance(true) (the churn soak uses this) the clock instead
+// jumps forward by the server's own poll timeout whenever the loop goes
+// idle, so reap/retry paths fire "naturally" under load.
+//
+// Blocking model: SimTransport::Poll blocks the server's loop thread on
+// a condition variable until an event arrives (bytes, a connection, a
+// wake-pipe write, injected faults) or the virtual clock reaches the
+// poll deadline. When neither happens within a small real-time window it
+// returns 0 *without* advancing virtual time, which keeps the loop
+// responsive to stop requests while the clock stays frozen. All methods
+// are thread-safe; Connection handles stay valid after the transport is
+// gone (they share ownership of the core state).
+
+#ifndef ATR_NET_SIM_TRANSPORT_H_
+#define ATR_NET_SIM_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace atr {
+namespace net {
+
+namespace sim_internal {
+struct Core;
+struct ConnState;
+}  // namespace sim_internal
+
+class SimTransport : public Transport {
+ public:
+  // Test-side endpoint of one simulated connection. Thread-safe.
+  class Connection {
+   public:
+    // Queues client → server bytes and wakes the server's poll.
+    void Send(const void* data, size_t len);
+    void Send(const std::vector<uint8_t>& bytes);
+
+    // Clean shutdown from the client side: the server reads everything
+    // already queued, then sees EOF.
+    void Close();
+
+    // Hard failure: every subsequent server read fails with `err`.
+    void Reset(int err);
+
+    // Drains server → client bytes (also frees simulated write space).
+    std::vector<uint8_t> TakeOutput();
+
+    // Real-time bounded waits for server activity. Return false on
+    // timeout. WaitForOutput succeeds once at least `min_unread` bytes
+    // are queued client-side (drain with TakeOutput).
+    bool WaitForOutput(size_t min_unread, int timeout_real_ms = 5000);
+    bool WaitClosedByServer(int timeout_real_ms = 5000);
+
+    bool closed_by_server() const;
+    bool accepted_by_server() const;
+    // Client → server bytes the server has not read yet. Waiting for
+    // this to hit 0 is the deterministic way to guarantee the server
+    // observed a torn byte boundary before the next Send.
+    size_t pending_input() const;
+    bool WaitForInputDrained(int timeout_real_ms = 5000);
+    // Unread server → client bytes currently queued.
+    size_t pending_output() const;
+    // Cumulative server → client bytes ever written.
+    uint64_t total_output_bytes() const;
+
+    // Fault injection; see the header comment. A limit of 0 means "no
+    // bytes ever", SIZE_MAX (the default) unlimited.
+    void set_max_read_chunk(size_t n);
+    void set_max_write_chunk(size_t n);
+    void set_write_space(size_t n);
+    void FailNextRead(int err);
+    void FailNextWrite(int err);
+
+   private:
+    friend class SimTransport;
+    Connection(std::shared_ptr<sim_internal::Core> core,
+               std::shared_ptr<sim_internal::ConnState> state);
+    std::shared_ptr<sim_internal::Core> core_;
+    std::shared_ptr<sim_internal::ConnState> state_;
+  };
+
+  SimTransport();
+  ~SimTransport() override;
+
+  // Places a new simulated connection on the listener backlog (the
+  // server accepts it on its next poll round).
+  std::shared_ptr<Connection> Connect();
+
+  // Advances the virtual clock and wakes the server loop.
+  void AdvanceTimeMs(int64_t delta_ms);
+  int64_t now_ms() const;
+
+  // The next `times` Accept calls made while a connection is pending
+  // fail with `err` instead of handing it out (EMFILE/ENFILE shed-path
+  // testing). The error waits for a pending connection — matching
+  // kernel semantics, where descriptor exhaustion surfaces while
+  // accepting a real connection — so the order of InjectAcceptError
+  // and Connect relative to the server's poll loop does not matter.
+  void InjectAcceptError(int err, int times = 1);
+
+  // Auto-advance: when the loop goes idle, jump the virtual clock to the
+  // poll deadline instead of freezing (default off).
+  void set_auto_advance(bool on);
+  // Real-time window Poll blocks for when nothing is ready and the
+  // clock is frozen (default 50 ms; the fuzzer shrinks it).
+  void set_idle_poll_real_ms(int ms);
+
+  // Invariant counters for harness assertions.
+  int open_connection_fds() const;  // conn descriptors the server holds
+  int open_fds() const;             // every live descriptor incl. listener
+  uint64_t accepts() const;
+
+  // Transport interface (the server side).
+  Status OpenListener(const std::string& host, uint16_t port, int* listen_fd,
+                      uint16_t* bound_port) override;
+  Status OpenWakePipe(int* read_fd, int* write_fd) override;
+  int OpenSpare() override;
+  int Poll(pollfd* fds, size_t nfds, int timeout_ms, int* err) override;
+  int Accept(int listen_fd, int* err) override;
+  ssize_t Read(int fd, void* buf, size_t len, int* err) override;
+  ssize_t Write(int fd, const void* buf, size_t len, int* err) override;
+  void Close(int fd) override;
+  int64_t NowMs() override;
+
+ private:
+  std::shared_ptr<sim_internal::Core> core_;
+};
+
+// Pumps server → client bytes from `conn` through `parser` until `want`
+// complete frames have accumulated in *frames (appended), the server
+// closes the connection, or `timeout_real_ms` elapses. Returns true when
+// the target count was reached. Shared by the sim tests, the fuzzer and
+// the churn soak.
+bool PumpFrames(SimTransport::Connection& conn, FrameParser& parser,
+                size_t want, std::vector<Frame>* frames,
+                int timeout_real_ms = 5000);
+
+}  // namespace net
+}  // namespace atr
+
+#endif  // ATR_NET_SIM_TRANSPORT_H_

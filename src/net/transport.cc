@@ -1,0 +1,121 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace atr {
+namespace net {
+
+Status PosixTransport::OpenListener(const std::string& host, uint16_t port,
+                                    int* listen_fd, uint16_t* bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("AtrServer: socket failed: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("AtrServer: bad host address " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::Internal("AtrServer: bind to " + host + ":" +
+                                      std::to_string(port) +
+                                      " failed: " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status s = Status::Internal(std::string("AtrServer: listen failed: ") +
+                                      std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status s =
+        Status::Internal(std::string("AtrServer: getsockname failed: ") +
+                         std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  *listen_fd = fd;
+  *bound_port = ntohs(bound.sin_port);
+  return Status::Ok();
+}
+
+Status PosixTransport::OpenWakePipe(int* read_fd, int* write_fd) {
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return Status::Internal(std::string("AtrServer: pipe2 failed: ") +
+                            std::strerror(errno));
+  }
+  *read_fd = pipe_fds[0];
+  *write_fd = pipe_fds[1];
+  return Status::Ok();
+}
+
+int PosixTransport::OpenSpare() {
+  return ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
+int PosixTransport::Poll(pollfd* fds, size_t nfds, int timeout_ms, int* err) {
+  const int ready = ::poll(fds, nfds, timeout_ms);
+  if (ready < 0) *err = errno;
+  return ready;
+}
+
+int PosixTransport::Accept(int listen_fd, int* err) {
+  const int fd =
+      ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) *err = errno;
+  return fd;
+}
+
+ssize_t PosixTransport::Read(int fd, void* buf, size_t len, int* err) {
+  ssize_t n = ::recv(fd, buf, len, 0);
+  if (n < 0 && errno == ENOTSOCK) n = ::read(fd, buf, len);
+  if (n < 0) *err = errno;
+  return n;
+}
+
+ssize_t PosixTransport::Write(int fd, const void* buf, size_t len, int* err) {
+  // MSG_NOSIGNAL keeps a dead peer an EPIPE error, not a SIGPIPE; the
+  // ENOTSOCK fallback covers the wake pipe (written from worker threads
+  // and from RequestStop, possibly inside a signal handler — both send
+  // and write are async-signal-safe).
+  ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) n = ::write(fd, buf, len);
+  if (n < 0) *err = errno;
+  return n;
+}
+
+void PosixTransport::Close(int fd) { ::close(fd); }
+
+int64_t PosixTransport::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Transport& DefaultTransport() {
+  static PosixTransport* transport = new PosixTransport();
+  return *transport;
+}
+
+}  // namespace net
+}  // namespace atr

@@ -1,0 +1,114 @@
+// Transport — the raw I/O seam under AtrServer.
+//
+// The server's poll loop used to call poll/accept4/recv/send/close and
+// std::chrono::steady_clock directly, which meant its connection state
+// machine (pipelining, partial reads, short writes, EMFILE shedding,
+// slow-consumer high-water marks, idle reaping) could only be exercised
+// over real TCP sockets — where torn frames, descriptor exhaustion and
+// timing edges are nearly impossible to reproduce deterministically.
+// This interface extracts exactly that syscall surface:
+//
+//   * PosixTransport (this header) is the production default and is a
+//     thin veneer over the real syscalls — AtrServer behaves byte-
+//     identically to the pre-seam code when running on it.
+//   * SimTransport (net/sim_transport.h) is an in-process simulated
+//     network with scripted byte streams, injectable partial reads /
+//     short writes / errno faults, and a virtual monotonic clock. Every
+//     deterministic server regression (tests/server_sim_test.cc), the
+//     connection-state-machine fuzzer (fuzz/fuzz_server.cc) and the
+//     churn soak (bench/soak_churn.cc) drive AtrServer through it.
+//
+// Contract notes:
+//   * Accept/Read/Write report failures by returning a negative value
+//     and storing an errno-style code in *err (never by mutating the
+//     global errno contractually — PosixTransport happens to, but
+//     callers must use *err). EINTR/EAGAIN retry policy stays in the
+//     caller, where it is part of the state machine under test.
+//   * Read and Write must work on both sockets and pipe descriptors:
+//     the wake pipe is written from worker threads (NotifyJobDone) and
+//     from RequestStop, which may run in a signal handler — so Write
+//     must stay async-signal-safe for PosixTransport (one send/write
+//     call, no locks) and merely thread-safe for SimTransport.
+//   * NowMs is a monotonic milliseconds clock. Under SimTransport it is
+//     virtual: idle-timeout and flush-deadline paths become testable
+//     without wall-clock sleeps.
+
+#ifndef ATR_NET_TRANSPORT_H_
+#define ATR_NET_TRANSPORT_H_
+
+#include <poll.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+#include "util/status.h"
+
+namespace atr {
+namespace net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Binds a listening endpoint. On success stores the listener's
+  // descriptor in *listen_fd and the actually-bound port in *bound_port
+  // (meaningful when `port` was 0 = ephemeral).
+  virtual Status OpenListener(const std::string& host, uint16_t port,
+                              int* listen_fd, uint16_t* bound_port) = 0;
+
+  // A non-blocking self-pipe for cross-thread wakeups.
+  virtual Status OpenWakePipe(int* read_fd, int* write_fd) = 0;
+
+  // Reserve descriptor for the EMFILE shed path (see AtrServer); -1 when
+  // none is available.
+  virtual int OpenSpare() = 0;
+
+  // poll(2) semantics over descriptors from this transport. Returns the
+  // number of entries with nonzero revents, 0 on timeout, negative with
+  // *err set on failure.
+  virtual int Poll(pollfd* fds, size_t nfds, int timeout_ms, int* err) = 0;
+
+  // Non-blocking accept on a listener descriptor. Returns the new
+  // connection descriptor, or a negative value with *err set (EAGAIN
+  // when the backlog is empty, EMFILE/ENFILE under descriptor
+  // exhaustion, ECONNABORTED when the peer gave up, ...).
+  virtual int Accept(int listen_fd, int* err) = 0;
+
+  // read(2)/write(2) semantics: bytes transferred, 0 on EOF (Read only),
+  // negative with *err set otherwise. Writes to sockets must not raise
+  // SIGPIPE (PosixTransport sends with MSG_NOSIGNAL).
+  virtual ssize_t Read(int fd, void* buf, size_t len, int* err) = 0;
+  virtual ssize_t Write(int fd, const void* buf, size_t len, int* err) = 0;
+
+  virtual void Close(int fd) = 0;
+
+  // Monotonic clock in milliseconds. Virtual under SimTransport.
+  virtual int64_t NowMs() = 0;
+};
+
+// The production transport: real sockets, real clock. Stateless and
+// thread-safe; every AtrServer without an explicit transport shares the
+// process-wide instance from DefaultTransport().
+class PosixTransport : public Transport {
+ public:
+  Status OpenListener(const std::string& host, uint16_t port, int* listen_fd,
+                      uint16_t* bound_port) override;
+  Status OpenWakePipe(int* read_fd, int* write_fd) override;
+  int OpenSpare() override;
+  int Poll(pollfd* fds, size_t nfds, int timeout_ms, int* err) override;
+  int Accept(int listen_fd, int* err) override;
+  ssize_t Read(int fd, void* buf, size_t len, int* err) override;
+  ssize_t Write(int fd, const void* buf, size_t len, int* err) override;
+  void Close(int fd) override;
+  int64_t NowMs() override;
+};
+
+// Process-wide PosixTransport singleton.
+Transport& DefaultTransport();
+
+}  // namespace net
+}  // namespace atr
+
+#endif  // ATR_NET_TRANSPORT_H_

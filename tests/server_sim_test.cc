@@ -1,0 +1,582 @@
+// Deterministic connection-state-machine tests for AtrServer, driven
+// through SimTransport (net/sim_transport.h) instead of TCP. Every case
+// here pins down an edge the TCP integration tests cannot reach
+// reliably: frames torn at every byte boundary, short writes resumed
+// across POLLOUT rounds without duplicating or dropping bytes, EMFILE at
+// accept, EOF racing pipelined requests, the output high-water mark at
+// its exact boundary, millisecond-exact idle reaping on a virtual clock,
+// and injected EINTR/EPIPE/ECONNRESET faults. No sleeps, no timing
+// assumptions: the only real-time waits are bounded rendezvous with the
+// server's loop thread.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "graph/generators/generators.h"
+#include "net/server.h"
+#include "net/sim_transport.h"
+#include "net/wire.h"
+
+namespace atr {
+namespace net {
+namespace {
+
+Graph ServedGraph(uint64_t seed = 11) { return HolmeKimGraph(60, 4, 0.7, seed); }
+
+// A server wired to a SimTransport. The transport member is declared
+// first so it outlives the server (destruction runs in reverse order).
+struct SimFixture {
+  SimTransport sim;
+  AtrServer server;
+
+  explicit SimFixture(AtrServer::Options options = {})
+      : server(WithTransport(std::move(options), &sim)) {}
+
+  ~SimFixture() {
+    server.Stop();
+    // Connection-hygiene invariant: once the loop exits and the server is
+    // destroyed/stopped, no simulated connection descriptor may leak.
+    EXPECT_EQ(sim.open_connection_fds(), 0);
+  }
+
+  static AtrServer::Options WithTransport(AtrServer::Options options,
+                                          SimTransport* transport) {
+    options.transport = transport;
+    return options;
+  }
+
+  void StartWithGraph() {
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(server.AddGraph("social", ServedGraph()).ok());
+  }
+};
+
+std::vector<uint8_t> PingFrame(uint64_t id) {
+  PingRequest request;
+  request.request_id = id;
+  return request.EncodeFrame();
+}
+
+// Pumps frames and asserts exactly `want` arrived.
+std::vector<Frame> ExpectFrames(SimTransport::Connection& conn,
+                                FrameParser& parser, size_t want) {
+  std::vector<Frame> frames;
+  EXPECT_TRUE(PumpFrames(conn, parser, want, &frames))
+      << "expected " << want << " frames, got " << frames.size();
+  return frames;
+}
+
+uint64_t ResponseRequestId(const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kPingResponse: {
+      StatusOr<PingResponse> r = PingResponse::Decode(frame.payload);
+      EXPECT_TRUE(r.ok());
+      return r.ok() ? r->request_id : 0;
+    }
+    case MsgType::kInfoResponse: {
+      StatusOr<InfoResponse> r = InfoResponse::Decode(frame.payload);
+      EXPECT_TRUE(r.ok());
+      return r.ok() ? r->request_id : 0;
+    }
+    case MsgType::kListGraphsResponse: {
+      StatusOr<ListGraphsResponse> r =
+          ListGraphsResponse::Decode(frame.payload);
+      EXPECT_TRUE(r.ok());
+      return r.ok() ? r->request_id : 0;
+    }
+    default:
+      ADD_FAILURE() << "unexpected frame type "
+                    << static_cast<uint32_t>(frame.type);
+      return 0;
+  }
+}
+
+// Occupies one worker with a job parked inside its progress callback
+// until Release() is called; used to make admission-control and parked-
+// waiter states fully deterministic (net_test.cc uses the same pattern
+// over TCP).
+class WorkerJam {
+ public:
+  explicit WorkerJam(AtrService& service) {
+    SolverOptions blocker;
+    blocker.budget = 2;
+    blocker.progress = [this](const SolveProgress&) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return release_; });
+      return true;
+    };
+    StatusOr<JobHandle> running = service.Submit("social", "gas", blocker);
+    EXPECT_TRUE(running.ok());
+    if (!running.ok()) return;
+    handle_ = *running;
+    while (handle_.state() == JobHandle::State::kQueued) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      release_ = true;
+    }
+    cv_.notify_all();
+    ASSERT_TRUE(handle_.Wait().ok());
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool release_ = false;
+  JobHandle handle_;
+};
+
+TEST(ServerSim, PingRoundTripIsByteExact) {
+  SimFixture fixture;
+  fixture.StartWithGraph();
+
+  auto conn = fixture.sim.Connect();
+  conn->Send(PingFrame(42));
+
+  ASSERT_TRUE(conn->WaitForOutput(1));
+  PingResponse expected;
+  expected.request_id = 42;
+  EXPECT_EQ(conn->TakeOutput(), expected.EncodeFrame());
+}
+
+// Three pipelined requests, re-sent once per possible byte boundary: the
+// prefix is guaranteed to be consumed by the server (a torn read) before
+// the suffix is queued, so the parser really does see every partial
+// header and partial payload.
+TEST(ServerSim, FrameStreamTornAtEveryByteBoundary) {
+  SimFixture fixture;
+  fixture.StartWithGraph();
+
+  InfoRequest info;
+  info.graph = "social";
+  ListGraphsRequest list;
+
+  std::vector<uint8_t> stream;
+  {
+    info.request_id = 2;
+    list.request_id = 3;
+    const std::vector<uint8_t> a = PingFrame(1);
+    const std::vector<uint8_t> b = info.EncodeFrame();
+    const std::vector<uint8_t> c = list.EncodeFrame();
+    stream.insert(stream.end(), a.begin(), a.end());
+    stream.insert(stream.end(), b.begin(), b.end());
+    stream.insert(stream.end(), c.begin(), c.end());
+  }
+
+  for (size_t split = 1; split < stream.size(); ++split) {
+    auto conn = fixture.sim.Connect();
+    conn->Send(stream.data(), split);
+    ASSERT_TRUE(conn->WaitForInputDrained()) << "split " << split;
+    conn->Send(stream.data() + split, stream.size() - split);
+
+    FrameParser parser;
+    std::vector<Frame> frames = ExpectFrames(*conn, parser, 3);
+    ASSERT_EQ(frames.size(), 3u) << "split " << split;
+    EXPECT_EQ(frames[0].type, MsgType::kPingResponse);
+    EXPECT_EQ(frames[1].type, MsgType::kInfoResponse);
+    EXPECT_EQ(frames[2].type, MsgType::kListGraphsResponse);
+    EXPECT_EQ(ResponseRequestId(frames[0]), 1u);
+    EXPECT_EQ(ResponseRequestId(frames[1]), 2u);
+    EXPECT_EQ(ResponseRequestId(frames[2]), 3u);
+    conn->Close();
+  }
+}
+
+// The degenerate read path: the server's recv never returns more than
+// one byte, so every header and payload arrives maximally fragmented.
+TEST(ServerSim, SingleByteReadsPreserveThePipeline) {
+  SimFixture fixture;
+  fixture.StartWithGraph();
+
+  auto conn = fixture.sim.Connect();
+  conn->set_max_read_chunk(1);
+  std::vector<uint8_t> stream;
+  for (uint64_t id = 1; id <= 8; ++id) {
+    const std::vector<uint8_t> frame = PingFrame(id);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  conn->Send(stream);
+
+  FrameParser parser;
+  std::vector<Frame> frames = ExpectFrames(*conn, parser, 8);
+  ASSERT_EQ(frames.size(), 8u);
+  for (uint64_t id = 1; id <= 8; ++id) {
+    EXPECT_EQ(frames[id - 1].type, MsgType::kPingResponse);
+    EXPECT_EQ(ResponseRequestId(frames[id - 1]), id);
+  }
+}
+
+// Short-write-then-POLLOUT resume: the simulated kernel buffer holds 8
+// bytes and each send accepts at most 3, so one response crosses many
+// poll rounds. The reassembled client-side bytes must be identical to
+// the response encoded in one piece — no duplicated, dropped, or
+// reordered chunk.
+TEST(ServerSim, ShortWritesReassembleByteIdentical) {
+  SimFixture fixture;
+  ASSERT_TRUE(fixture.server.Start().ok());
+  ASSERT_TRUE(fixture.server.AddGraph("alpha", ServedGraph(1)).ok());
+  ASSERT_TRUE(fixture.server.AddGraph("beta", ServedGraph(2)).ok());
+  ASSERT_TRUE(fixture.server.AddGraph("gamma", ServedGraph(3)).ok());
+
+  ListGraphsResponse expected;
+  expected.request_id = 7;
+  expected.names = fixture.server.service().GraphNames();
+  const std::vector<uint8_t> expected_bytes = expected.EncodeFrame();
+  ASSERT_GT(expected_bytes.size(), 16u);  // must actually span many writes
+
+  auto conn = fixture.sim.Connect();
+  conn->set_max_write_chunk(3);
+  conn->set_write_space(8);
+  ListGraphsRequest request;
+  request.request_id = 7;
+  conn->Send(request.EncodeFrame());
+
+  std::vector<uint8_t> got;
+  while (got.size() < expected_bytes.size()) {
+    ASSERT_TRUE(conn->WaitForOutput(1)) << "stalled after " << got.size()
+                                        << " of " << expected_bytes.size();
+    const std::vector<uint8_t> chunk = conn->TakeOutput();
+    got.insert(got.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(got, expected_bytes);
+}
+
+// Regression: a peer that pipelines requests and immediately half-closes
+// must still receive every response before the server closes. (The read
+// path used to drop the connection on EOF before flushing the responses
+// to the frames it had just dispatched.)
+TEST(ServerSim, EofAfterPipelinedRequestsStillAnswers) {
+  SimFixture fixture;
+  fixture.StartWithGraph();
+
+  auto conn = fixture.sim.Connect();
+  conn->set_write_space(4);  // flush must survive trickling out too
+  std::vector<uint8_t> stream;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    const std::vector<uint8_t> frame = PingFrame(id);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  conn->Send(stream);
+  conn->Close();  // EOF is already queued behind the three requests
+
+  FrameParser parser;
+  std::vector<Frame> frames = ExpectFrames(*conn, parser, 3);
+  ASSERT_EQ(frames.size(), 3u);
+  for (uint64_t id = 1; id <= 3; ++id) {
+    EXPECT_EQ(frames[id - 1].type, MsgType::kPingResponse);
+    EXPECT_EQ(ResponseRequestId(frames[id - 1]), id);
+  }
+  EXPECT_TRUE(conn->WaitClosedByServer());
+}
+
+TEST(ServerSim, EmfileAtAcceptShedsWithStructuredError) {
+  SimFixture fixture;
+  fixture.StartWithGraph();
+
+  fixture.sim.InjectAcceptError(EMFILE);
+  auto shed = fixture.sim.Connect();
+
+  // The shed connection gets a structured kResourceExhausted with a
+  // retry hint, then the server closes it.
+  FrameParser parser;
+  std::vector<Frame> frames = ExpectFrames(*shed, parser, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, MsgType::kError);
+  StatusOr<ErrorResponse> error = ErrorResponse::Decode(frames[0].payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->code, StatusCode::kResourceExhausted);
+  EXPECT_GT(error->retry_after_ms, 0u);
+  EXPECT_TRUE(shed->WaitClosedByServer());
+  EXPECT_EQ(fixture.server.accept_sheds(), 1u);
+
+  // The descriptor pressure was transient: the next connection is served.
+  auto conn = fixture.sim.Connect();
+  conn->Send(PingFrame(5));
+  FrameParser parser2;
+  std::vector<Frame> ok = ExpectFrames(*conn, parser2, 1);
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_EQ(ok[0].type, MsgType::kPingResponse);
+}
+
+TEST(ServerSim, MidFrameDisconnectIsCleanedUp) {
+  SimFixture fixture;
+  fixture.StartWithGraph();
+
+  auto conn = fixture.sim.Connect();
+  const std::vector<uint8_t> frame = PingFrame(9);
+  conn->Send(frame.data(), frame.size() - 6);  // half the payload missing
+  ASSERT_TRUE(conn->WaitForInputDrained());
+  conn->Close();
+  EXPECT_TRUE(conn->WaitClosedByServer());
+
+  // The half-frame neither crashed the parser nor wedged the server.
+  auto conn2 = fixture.sim.Connect();
+  conn2->Send(PingFrame(10));
+  FrameParser parser;
+  std::vector<Frame> frames = ExpectFrames(*conn2, parser, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(ResponseRequestId(frames[0]), 10u);
+}
+
+// The output high-water mark is exclusive: unsent bytes exactly AT the
+// mark keep the connection alive; one more response tips it over. The
+// peer never grants write space, so nothing can flush in between.
+TEST(ServerSim, OutputHighWaterMarkBoundaryIsExclusive) {
+  const std::vector<uint8_t> one_response = [] {
+    PingResponse r;
+    r.request_id = 1;
+    return r.EncodeFrame();
+  }();
+
+  AtrServer::Options options;
+  options.max_output_buffer_bytes = one_response.size();
+  SimFixture fixture(options);
+  fixture.StartWithGraph();
+
+  auto conn = fixture.sim.Connect();
+  conn->set_write_space(0);  // the peer reads nothing, ever
+
+  conn->Send(PingFrame(1));
+  // Rendezvous: the server consumed the first ping, so its response (16
+  // unsent bytes == the mark) has been through at least one high-water
+  // check by the time the second ping can possibly be read.
+  ASSERT_TRUE(conn->WaitForInputDrained());
+  conn->Send(PingFrame(2));
+
+  EXPECT_TRUE(conn->WaitClosedByServer());
+  EXPECT_EQ(fixture.server.slow_consumer_disconnects(), 1u);
+  // Both pings were read: the connection survived the first response
+  // sitting exactly at the mark (an inclusive check would have closed it
+  // before the second ping could be consumed).
+  EXPECT_EQ(conn->pending_input(), 0u);
+  EXPECT_EQ(conn->total_output_bytes(), 0u);  // peer never granted space
+}
+
+// Idle reaping on the virtual clock, exact at the millisecond: 99 ms of
+// silence survives a 100 ms timeout, 100 ms does not.
+TEST(ServerSim, VirtualTimeIdleReapIsMillisecondExact) {
+  AtrServer::Options options;
+  options.idle_timeout_ms = 100;
+  SimFixture fixture(options);
+  fixture.StartWithGraph();
+
+  auto conn = fixture.sim.Connect();
+  conn->Send(PingFrame(1));
+  FrameParser parser;
+  ASSERT_EQ(ExpectFrames(*conn, parser, 1).size(), 1u);  // active at t=0
+
+  fixture.sim.AdvanceTimeMs(99);  // one short of the timeout
+  conn->Send(PingFrame(2));
+  std::vector<Frame> second = ExpectFrames(*conn, parser, 1);
+  ASSERT_EQ(second.size(), 1u);  // still connected at t=99
+  EXPECT_EQ(ResponseRequestId(second[0]), 2u);
+  EXPECT_EQ(fixture.server.idle_disconnects(), 0u);
+
+  fixture.sim.AdvanceTimeMs(100);  // t=199: exactly 100 ms since activity
+  EXPECT_TRUE(conn->WaitClosedByServer());
+  EXPECT_EQ(fixture.server.idle_disconnects(), 1u);
+}
+
+// A connection parked on a Wait is waiting on the server, not idling:
+// it survives any amount of virtual time while a plain idle connection
+// next to it is reaped.
+TEST(ServerSim, ParkedWaiterOutlivesIdleTimeout) {
+  AtrServer::Options options;
+  options.workers = 1;
+  options.idle_timeout_ms = 50;
+  SimFixture fixture(options);
+  fixture.StartWithGraph();
+
+  WorkerJam jam(fixture.server.service());
+
+  // Submit over the wire (queued behind the jam), then park a Wait on it.
+  auto waiter = fixture.sim.Connect();
+  SubmitRequest submit;
+  submit.request_id = 1;
+  submit.graph = "social";
+  submit.solver = "gas";
+  submit.options.budget = 1;
+  waiter->Send(submit.EncodeFrame());
+  FrameParser parser;
+  std::vector<Frame> frames = ExpectFrames(*waiter, parser, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, MsgType::kSubmitResponse);
+  StatusOr<SubmitResponse> submitted = SubmitResponse::Decode(frames[0].payload);
+  ASSERT_TRUE(submitted.ok());
+
+  WaitRequest wait;
+  wait.request_id = 2;
+  wait.job_id = submitted->job_id;
+  waiter->Send(wait.EncodeFrame());
+  ASSERT_TRUE(waiter->WaitForInputDrained());  // the Wait is parked
+
+  auto idler = fixture.sim.Connect();
+  idler->Send(PingFrame(1));
+  FrameParser idler_parser;
+  ASSERT_EQ(ExpectFrames(*idler, idler_parser, 1).size(), 1u);
+
+  fixture.sim.AdvanceTimeMs(10'000);  // 200× the idle timeout
+  EXPECT_TRUE(idler->WaitClosedByServer());
+  EXPECT_FALSE(waiter->closed_by_server());
+  EXPECT_EQ(fixture.server.idle_disconnects(), 1u);
+
+  jam.Release();
+  std::vector<Frame> done = ExpectFrames(*waiter, parser, 1);
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_EQ(done[0].type, MsgType::kWaitResponse);
+  StatusOr<WaitResponse> result = WaitResponse::Decode(done[0].payload);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->request_id, 2u);
+  EXPECT_EQ(result->job_id, submitted->job_id);
+}
+
+// Admission-control rejections carry a deterministic, per-tenant
+// retry_after_ms: a tenant with no backlog of its own gets exactly the
+// base hint even while the global queue is jammed.
+TEST(ServerSim, RetryAfterHintIsDeterministicPerTenant) {
+  AtrServer::Options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.retry_after_base_ms = 50;
+  SimFixture fixture(options);
+  fixture.StartWithGraph();
+
+  AtrService& service = fixture.server.service();
+  WorkerJam jam(service);
+  SolverOptions pending_options;
+  pending_options.budget = 1;
+  StatusOr<JobHandle> pending =
+      service.Submit("social", "gas", pending_options);  // fills the queue
+  ASSERT_TRUE(pending.ok());
+
+  auto submit_rejected = [&](const std::string& tenant) -> uint32_t {
+    auto conn = fixture.sim.Connect();
+    SubmitRequest submit;
+    submit.request_id = 1;
+    submit.graph = "social";
+    submit.solver = "gas";
+    submit.options.budget = 1;
+    submit.tenant = tenant;
+    conn->Send(submit.EncodeFrame());
+    FrameParser parser;
+    std::vector<Frame> frames = ExpectFrames(*conn, parser, 1);
+    if (frames.size() != 1 || frames[0].type != MsgType::kError) {
+      ADD_FAILURE() << "expected a kError rejection";
+      return 0;
+    }
+    StatusOr<ErrorResponse> error = ErrorResponse::Decode(frames[0].payload);
+    EXPECT_TRUE(error.ok());
+    EXPECT_EQ(error->code, StatusCode::kResourceExhausted);
+    conn->Close();
+    return error.ok() ? error->retry_after_ms : 0;
+  };
+
+  // "acme" has no jobs anywhere: its hint is exactly the base.
+  EXPECT_EQ(submit_rejected("acme"), 50u);
+  // The default tenant owns the whole jammed queue; its hint follows the
+  // documented load formula. Nothing can drain while the jam holds, so
+  // the load observed here is the load the server used.
+  const uint32_t expected =
+      50u * (1 + static_cast<uint32_t>(service.QueueLoad()) /
+                     std::max(1, service.Workers()));
+  EXPECT_EQ(submit_rejected(""), expected);
+  EXPECT_GT(expected, 50u);
+
+  jam.Release();
+  ASSERT_TRUE(pending->Wait().ok());
+}
+
+// One-shot EINTR on read and on write must be invisible; EPIPE on write
+// must cost exactly that connection and nothing else.
+TEST(ServerSim, TransientFaultsAreRetriedFatalOnesAreNot) {
+  SimFixture fixture;
+  fixture.StartWithGraph();
+
+  auto conn = fixture.sim.Connect();
+  FrameParser parser;
+
+  conn->FailNextRead(EINTR);
+  conn->Send(PingFrame(1));
+  std::vector<Frame> first = ExpectFrames(*conn, parser, 1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(ResponseRequestId(first[0]), 1u);
+
+  conn->FailNextWrite(EINTR);
+  conn->Send(PingFrame(2));
+  std::vector<Frame> second = ExpectFrames(*conn, parser, 1);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(ResponseRequestId(second[0]), 2u);
+
+  conn->FailNextWrite(EPIPE);
+  conn->Send(PingFrame(3));
+  EXPECT_TRUE(conn->WaitClosedByServer());
+
+  // The EPIPE cost one connection, not the server.
+  auto conn2 = fixture.sim.Connect();
+  conn2->Send(PingFrame(4));
+  FrameParser parser2;
+  std::vector<Frame> after = ExpectFrames(*conn2, parser2, 1);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(ResponseRequestId(after[0]), 4u);
+}
+
+TEST(ServerSim, ConnectionResetDropsOnlyThatPeer) {
+  SimFixture fixture;
+  fixture.StartWithGraph();
+
+  auto doomed = fixture.sim.Connect();
+  doomed->Send(PingFrame(1));
+  FrameParser parser;
+  ASSERT_EQ(ExpectFrames(*doomed, parser, 1).size(), 1u);
+  doomed->Reset(ECONNRESET);
+  EXPECT_TRUE(doomed->WaitClosedByServer());
+
+  auto conn = fixture.sim.Connect();
+  conn->Send(PingFrame(2));
+  FrameParser parser2;
+  std::vector<Frame> frames = ExpectFrames(*conn, parser2, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(ResponseRequestId(frames[0]), 2u);
+}
+
+// A zero-length payload is a well-formed frame whose body fails request
+// decoding: the server answers a structured error (request id 0 — there
+// was nothing to echo) and the connection survives.
+TEST(ServerSim, ZeroLengthPayloadFrameAnswersStructuredError) {
+  SimFixture fixture;
+  fixture.StartWithGraph();
+
+  auto conn = fixture.sim.Connect();
+  conn->Send(EncodeFrame(MsgType::kPing, {}));
+
+  FrameParser parser;
+  std::vector<Frame> frames = ExpectFrames(*conn, parser, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, MsgType::kError);
+  StatusOr<ErrorResponse> error = ErrorResponse::Decode(frames[0].payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->request_id, 0u);
+  EXPECT_EQ(error->code, StatusCode::kInvalidArgument);
+
+  conn->Send(PingFrame(11));
+  std::vector<Frame> after = ExpectFrames(*conn, parser, 1);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(ResponseRequestId(after[0]), 11u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace atr
