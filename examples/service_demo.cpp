@@ -25,8 +25,15 @@ int main(int argc, char** argv) {
   atr::AtrService service(service_options);
 
   // Two workloads: a clustered friendship network and a small-world mesh.
-  service.AddGraph("social", atr::HolmeKimGraph(1200, 5, 0.8, /*seed=*/7));
-  service.AddGraph("mesh", atr::WattsStrogatzGraph(800, 8, 0.1, /*seed=*/9));
+  const atr::Status social = service.AddGraph(
+      "social", atr::HolmeKimGraph(1200, 5, 0.8, /*seed=*/7));
+  const atr::Status mesh = service.AddGraph(
+      "mesh", atr::WattsStrogatzGraph(800, 8, 0.1, /*seed=*/9));
+  if (!social.ok() || !mesh.ok()) {
+    std::fprintf(stderr, "AddGraph failed: %s\n",
+                 (!social.ok() ? social : mesh).message().c_str());
+    return 1;
+  }
   for (const std::string& name : service.GraphNames()) {
     const atr::AtrService::GraphInfo info = service.Info(name).value();
     std::printf("graph %-6s  |V|=%u |E|=%u\n", info.name.c_str(),

@@ -25,7 +25,9 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   const std::span<const uint8_t> bytes(data, size);
 
   // Snapshot reader: full-file validation (magic, format, CRC, payload).
-  DecodeSnapshot(bytes);
+  // Results are dropped on purpose throughout: the harness only checks that
+  // hostile bytes cannot crash a reader.
+  (void)DecodeSnapshot(bytes);
 
   // Delta-log reader: must never fail, only drop a tail.
   const DeltaLogContents log = DecodeDeltaLog(bytes);
@@ -35,11 +37,11 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // happens to match still has to survive a hostile payload).
   {
     ByteReader reader(data, size);
-    Graph::DeserializeFrom(reader);
+    (void)Graph::DeserializeFrom(reader);
   }
   {
     ByteReader reader(data, size);
-    DeserializeTrussDecomposition(reader, /*num_edges=*/8);
+    (void)DeserializeTrussDecomposition(reader, /*num_edges=*/8);
   }
   return 0;
 }

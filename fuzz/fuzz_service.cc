@@ -96,7 +96,8 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   static const std::string path =
       "/tmp/atr_fuzz_service_" + std::to_string(::getpid()) + ".txt";
   WriteTempFile(path, bytes);
-  LoadSnapEdgeList(path);
+  // Dropped on purpose: only crash-safety of the loader is under test.
+  (void)LoadSnapEdgeList(path);
 
   AtrService& service = Service();
   ReseedIfLarge(service);
@@ -109,13 +110,15 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     // A decoded delta may reference absurd vertex ids or huge edit lists;
     // only size is capped here — validation is ApplyEdits' job.
     if (request->delta.add.size() + request->delta.remove.size() <= 256) {
-      service.UpdateGraph(kGraphName, request->delta);
+      // A rejected hostile delta is a pass, not a failure to report.
+      (void)service.UpdateGraph(kGraphName, request->delta);
     }
   }
 
   // 3) Raw-interpreted delta: dense valid mutations so every iteration
   //    drives Graph::ApplyEdits + incremental truss maintenance.
-  service.UpdateGraph(kGraphName, DeltaFromBytes(bytes));
+  // Dropped on purpose: both accept and reject are valid outcomes here.
+  (void)service.UpdateGraph(kGraphName, DeltaFromBytes(bytes));
 
   // Periodically solve on the mutated snapshot: the published version
   // must always be a decomposition a solver can run on.
@@ -125,7 +128,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     options.budget = 1;
     if (StatusOr<JobHandle> job = service.Submit(kGraphName, "gas", options);
         job.ok()) {
-      job->Wait();
+      (void)job->Wait();  // only completion matters; the result is discarded
     }
   }
   return 0;

@@ -23,32 +23,34 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   parser.Feed(data + split, size - split);
   while (std::optional<Frame> frame = parser.Next()) {
     const std::span<const uint8_t> payload(frame->payload);
+    // Results are dropped on purpose: the harness only checks that hostile
+    // payloads cannot crash a decoder, not what they decode to.
     switch (frame->type) {
-      case MsgType::kPing: PingRequest::Decode(payload); break;
-      case MsgType::kListGraphs: ListGraphsRequest::Decode(payload); break;
-      case MsgType::kInfo: InfoRequest::Decode(payload); break;
-      case MsgType::kSubmit: SubmitRequest::Decode(payload); break;
-      case MsgType::kWait: WaitRequest::Decode(payload); break;
-      case MsgType::kCancel: CancelRequest::Decode(payload); break;
-      case MsgType::kUpdateGraph: UpdateGraphRequest::Decode(payload); break;
-      case MsgType::kCompact: CompactRequest::Decode(payload); break;
-      case MsgType::kShutdown: ShutdownRequest::Decode(payload); break;
-      case MsgType::kPingResponse: PingResponse::Decode(payload); break;
+      case MsgType::kPing: (void)PingRequest::Decode(payload); break;
+      case MsgType::kListGraphs: (void)ListGraphsRequest::Decode(payload); break;
+      case MsgType::kInfo: (void)InfoRequest::Decode(payload); break;
+      case MsgType::kSubmit: (void)SubmitRequest::Decode(payload); break;
+      case MsgType::kWait: (void)WaitRequest::Decode(payload); break;
+      case MsgType::kCancel: (void)CancelRequest::Decode(payload); break;
+      case MsgType::kUpdateGraph: (void)UpdateGraphRequest::Decode(payload); break;
+      case MsgType::kCompact: (void)CompactRequest::Decode(payload); break;
+      case MsgType::kShutdown: (void)ShutdownRequest::Decode(payload); break;
+      case MsgType::kPingResponse: (void)PingResponse::Decode(payload); break;
       case MsgType::kListGraphsResponse:
-        ListGraphsResponse::Decode(payload);
+        (void)ListGraphsResponse::Decode(payload);
         break;
-      case MsgType::kInfoResponse: InfoResponse::Decode(payload); break;
-      case MsgType::kSubmitResponse: SubmitResponse::Decode(payload); break;
-      case MsgType::kWaitResponse: WaitResponse::Decode(payload); break;
-      case MsgType::kCancelResponse: CancelResponse::Decode(payload); break;
+      case MsgType::kInfoResponse: (void)InfoResponse::Decode(payload); break;
+      case MsgType::kSubmitResponse: (void)SubmitResponse::Decode(payload); break;
+      case MsgType::kWaitResponse: (void)WaitResponse::Decode(payload); break;
+      case MsgType::kCancelResponse: (void)CancelResponse::Decode(payload); break;
       case MsgType::kUpdateGraphResponse:
-        UpdateGraphResponse::Decode(payload);
+        (void)UpdateGraphResponse::Decode(payload);
         break;
-      case MsgType::kCompactResponse: CompactResponse::Decode(payload); break;
+      case MsgType::kCompactResponse: (void)CompactResponse::Decode(payload); break;
       case MsgType::kShutdownResponse:
-        ShutdownResponse::Decode(payload);
+        (void)ShutdownResponse::Decode(payload);
         break;
-      case MsgType::kError: ErrorResponse::Decode(payload); break;
+      case MsgType::kError: (void)ErrorResponse::Decode(payload); break;
       default: break;
     }
   }
@@ -56,12 +58,12 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // The raw-payload path: the whole input as a payload for the decoders
   // whose frames the stream path may never assemble.
   const std::span<const uint8_t> raw(data, size);
-  SubmitRequest::Decode(raw);
-  WaitResponse::Decode(raw);
-  InfoResponse::Decode(raw);
-  ListGraphsResponse::Decode(raw);
-  UpdateGraphRequest::Decode(raw);
-  ErrorResponse::Decode(raw);
+  (void)SubmitRequest::Decode(raw);
+  (void)WaitResponse::Decode(raw);
+  (void)InfoResponse::Decode(raw);
+  (void)ListGraphsResponse::Decode(raw);
+  (void)UpdateGraphRequest::Decode(raw);
+  (void)ErrorResponse::Decode(raw);
   return 0;
 }
 

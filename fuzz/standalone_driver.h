@@ -14,6 +14,14 @@
 //   ./fuzz_wire                 # seeded mutation smoke run
 //   ./fuzz_wire file1 file2     # replay specific inputs (crash repro)
 //   ATR_FUZZ_ITERS=100000 ./fuzz_wire
+//   ATR_FUZZ_CORPUS=fuzz/corpus/wire ./fuzz_wire    # extra on-disk seeds
+//   ./fuzz_wire --dump-corpus fuzz/corpus/wire      # write built-in seeds
+//
+// The on-disk corpus under fuzz/corpus/<harness>/ is shared with real
+// libFuzzer runs (-DATR_FUZZ=ON builds take corpus directories as
+// positional arguments: `./fuzz_wire fuzz/corpus/wire`). The standalone
+// driver merges it with the built-in FuzzSeedCorpus() when
+// ATR_FUZZ_CORPUS names a directory; the ctest smoke registrations do.
 //
 // The mutation engine is intentionally simple (bit flips, byte writes,
 // truncations, duplications of seed inputs) — the decoders' attack
@@ -35,10 +43,52 @@ std::vector<std::vector<uint8_t>> FuzzSeedCorpus();
 
 #ifndef ATR_FUZZ_WITH_LIBFUZZER
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include <dirent.h>
 
 namespace atr_fuzz {
+
+inline bool ReadFileBytes(const std::string& path,
+                          std::vector<uint8_t>* bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  bytes->clear();
+  uint8_t chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes->insert(bytes->end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+// Regular files in `dir`, sorted by name for determinism; missing or
+// empty directories contribute nothing (the built-in seeds still run).
+inline std::vector<std::vector<uint8_t>> LoadCorpusDir(
+    const std::string& dir) {
+  std::vector<std::string> names;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == ".." || name == "README.md") continue;
+      names.push_back(name);
+    }
+    ::closedir(d);
+  }
+  std::sort(names.begin(), names.end());
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const std::string& name : names) {
+    std::vector<uint8_t> bytes;
+    if (ReadFileBytes(dir + "/" + name, &bytes)) {
+      corpus.push_back(std::move(bytes));
+    }
+  }
+  return corpus;
+}
 
 // xorshift64* — deterministic, seedable, no <random> needed.
 inline uint64_t NextRand(uint64_t& state) {
@@ -90,6 +140,23 @@ inline void MutateAndRun(const std::vector<std::vector<uint8_t>>& corpus,
 }  // namespace atr_fuzz
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--dump-corpus") == 0) {
+    // Regenerate the checked-in seed files from the built-in corpus.
+    const std::vector<std::vector<uint8_t>> corpus = FuzzSeedCorpus();
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      char path[512];
+      std::snprintf(path, sizeof(path), "%s/seed-%02zu.bin", argv[2], i);
+      std::FILE* f = std::fopen(path, "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+      }
+      std::fwrite(corpus[i].data(), 1, corpus[i].size(), f);
+      std::fclose(f);
+    }
+    std::printf("wrote %zu seed(s) to %s\n", corpus.size(), argv[2]);
+    return 0;
+  }
   if (argc > 1) {
     for (int i = 1; i < argc; ++i) {
       std::FILE* f = std::fopen(argv[i], "rb");
@@ -119,7 +186,13 @@ int main(int argc, char** argv) {
     seed = std::strtoull(env, nullptr, 10) | 1;
   }
 
-  const std::vector<std::vector<uint8_t>> corpus = FuzzSeedCorpus();
+  std::vector<std::vector<uint8_t>> corpus = FuzzSeedCorpus();
+  if (const char* dir = std::getenv("ATR_FUZZ_CORPUS")) {
+    std::vector<std::vector<uint8_t>> extra = atr_fuzz::LoadCorpusDir(dir);
+    for (std::vector<uint8_t>& input : extra) {
+      corpus.push_back(std::move(input));
+    }
+  }
   for (const std::vector<uint8_t>& input : corpus) {
     LLVMFuzzerTestOneInput(input.data(), input.size());
   }

@@ -2,17 +2,19 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace atr {
 namespace {
 
 struct RegistryState {
-  std::mutex mu;
-  std::map<std::string, SolverRegistry::Factory> exact;
+  Mutex mu;
+  std::map<std::string, SolverRegistry::Factory> exact ATR_GUARDED_BY(mu);
   // prefix -> (placeholder display name, factory), longest prefix wins.
   std::map<std::string, std::pair<std::string, SolverRegistry::Factory>>
-      prefixes;
+      prefixes ATR_GUARDED_BY(mu);
 };
 
 RegistryState& State() {
@@ -31,7 +33,7 @@ StatusOr<std::unique_ptr<Solver>> SolverRegistry::Create(
   RegistryState& state = State();
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(&state.mu);
     auto it = state.exact.find(name);
     if (it != state.exact.end()) {
       factory = it->second;
@@ -65,7 +67,7 @@ std::vector<std::string> SolverRegistry::KnownSolvers() {
   RegistryState& state = State();
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(&state.mu);
     for (const auto& [name, factory] : state.exact) names.push_back(name);
     for (const auto& [prefix, entry] : state.prefixes) {
       names.push_back(entry.first);
@@ -77,14 +79,14 @@ std::vector<std::string> SolverRegistry::KnownSolvers() {
 
 void SolverRegistry::Register(const std::string& name, Factory factory) {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.exact[name] = std::move(factory);
 }
 
 void SolverRegistry::RegisterPrefix(const std::string& prefix,
                                     Factory factory) {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.prefixes[prefix] = {prefix + "<k>", std::move(factory)};
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <set>
 #include <utility>
 #include <vector>
@@ -10,7 +9,9 @@
 #include "api/registry.h"
 #include "core/exact.h"
 #include "truss/incremental.h"
+#include "util/mutex.h"
 #include "util/parallel_for.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace atr {
@@ -28,15 +29,15 @@ struct JobState {
   std::unique_ptr<Solver> solver;   // resolved at Submit time
   std::function<GraphSnapshot()> snapshot;  // service's build-once entry
 
-  mutable std::mutex mu;
-  std::condition_variable cv;
-  JobHandle::State state = JobHandle::State::kQueued;   // guarded by mu
-  std::optional<StatusOr<SolveResult>> result;          // guarded by mu
-  SolveProgress progress;                               // guarded by mu
+  mutable Mutex mu;
+  CondVar cv;
+  JobHandle::State state ATR_GUARDED_BY(mu) = JobHandle::State::kQueued;
+  std::optional<StatusOr<SolveResult>> result ATR_GUARDED_BY(mu);
+  SolveProgress progress ATR_GUARDED_BY(mu);
   std::atomic<bool> cancel{false};
   // Completion hook (worker thread): taken out under mu when the result is
   // published, invoked after the lock drops so it may call handle methods.
-  std::function<void()> on_done;                        // guarded by mu
+  std::function<void()> on_done ATR_GUARDED_BY(mu);
 };
 
 // Publishes `result` as the job's terminal state and fires the completion
@@ -46,7 +47,7 @@ void PublishResult(const std::shared_ptr<JobState>& state,
                    StatusOr<SolveResult> result, JobHandle::State terminal) {
   std::function<void()> done;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     state->result = std::move(result);
     state->state = terminal;
     state->snapshot = nullptr;
@@ -54,7 +55,7 @@ void PublishResult(const std::shared_ptr<JobState>& state,
     state->options = SolverOptions();
     done = std::move(state->on_done);
     state->on_done = nullptr;
-    state->cv.notify_all();
+    state->cv.NotifyAll();
   }
   // Outside the lock: the hook may call JobHandle methods (TryGet sees the
   // result — it was published above).
@@ -107,13 +108,13 @@ const std::string& JobHandle::solver_name() const {
 
 JobHandle::State JobHandle::state() const {
   if (state_ == nullptr) return State::kQueued;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return state_->state;
 }
 
 bool JobHandle::Done() const {
   if (state_ == nullptr) return false;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return state_->result.has_value();
 }
 
@@ -121,21 +122,21 @@ StatusOr<SolveResult> JobHandle::Wait() {
   if (state_ == nullptr) {
     return Status::FailedPrecondition("Wait: empty JobHandle");
   }
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+  MutexLock lock(&state_->mu);
+  while (!state_->result.has_value()) state_->cv.Wait(state_->mu);
   return *state_->result;
 }
 
 std::optional<StatusOr<SolveResult>> JobHandle::TryGet() const {
   if (state_ == nullptr) return std::nullopt;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   if (!state_->result.has_value()) return std::nullopt;
   return *state_->result;
 }
 
 bool JobHandle::Cancel() {
   if (state_ == nullptr) return false;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   if (state_->result.has_value()) return false;
   state_->cancel.store(true, std::memory_order_relaxed);
   return true;
@@ -143,7 +144,7 @@ bool JobHandle::Cancel() {
 
 SolveProgress JobHandle::Progress() const {
   if (state_ == nullptr) return SolveProgress{};
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return state_->progress;
 }
 
@@ -179,17 +180,18 @@ struct AtrService::GraphVersion {
 // concurrent updates to one graph cannot both seed from the same
 // predecessor and lose one delta.
 struct AtrService::CatalogEntry {
-  mutable std::mutex version_mu;
-  std::shared_ptr<GraphVersion> current;
-  std::mutex update_mu;
+  mutable Mutex version_mu;
+  std::shared_ptr<GraphVersion> current ATR_GUARDED_BY(version_mu);
+  // Serializes whole UpdateGraph calls; guards no fields itself.
+  Mutex update_mu;
   std::atomic<uint32_t> builds{0};
   std::atomic<uint64_t> delta_updates{0};
   // Deltas since the last base snapshot; compaction resets it.
   std::atomic<uint64_t> delta_chain{0};
   std::atomic<uint64_t> jobs_submitted{0};
 
-  std::shared_ptr<GraphVersion> Current() const {
-    std::lock_guard<std::mutex> lock(version_mu);
+  std::shared_ptr<GraphVersion> Current() const ATR_EXCLUDES(version_mu) {
+    MutexLock lock(&version_mu);
     return current;
   }
 };
@@ -236,7 +238,7 @@ AtrService::Shard& AtrService::ShardFor(const std::string& name) const {
 Status AtrService::InsertEntry(const std::string& name, const char* what,
                                std::shared_ptr<CatalogEntry> entry) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   const bool inserted = shard.catalog.emplace(name, std::move(entry)).second;
   if (!inserted) {
     return Status::FailedPrecondition(std::string(what) + ": graph \"" + name +
@@ -290,7 +292,7 @@ Status AtrService::RestoreGraph(const std::string& name,
 }
 
 void AtrService::SetUpdateListener(UpdateListener listener) {
-  std::lock_guard<std::mutex> lock(listener_mu_);
+  MutexLock lock(&listener_mu_);
   update_listener_ =
       listener ? std::make_shared<const UpdateListener>(std::move(listener))
                : nullptr;
@@ -307,7 +309,7 @@ Status AtrService::ResetDeltaChain(const std::string& name) {
 
 Status AtrService::RemoveGraph(const std::string& name) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   if (shard.catalog.erase(name) == 0) {
     return Status::NotFound("RemoveGraph: unknown graph \"" + name + "\"");
   }
@@ -317,7 +319,7 @@ Status AtrService::RemoveGraph(const std::string& name) {
 std::vector<std::string> AtrService::GraphNames() const {
   std::vector<std::string> names;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (const auto& [name, entry] : shard->catalog) names.push_back(name);
   }
   // Each shard map is sorted, but names hash across shards arbitrarily.
@@ -328,7 +330,7 @@ std::vector<std::string> AtrService::GraphNames() const {
 std::shared_ptr<AtrService::CatalogEntry> AtrService::FindEntry(
     const std::string& name) const {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.catalog.find(name);
   return it == shard.catalog.end() ? nullptr : it->second;
 }
@@ -360,7 +362,7 @@ StatusOr<GraphSnapshot> AtrService::UpdateGraph(const std::string& name,
   }
   // One update at a time per graph; Submits/Snapshots stay lock-free with
   // respect to this (they only graze version_mu to read `current`).
-  std::lock_guard<std::mutex> update_lock(entry->update_mu);
+  MutexLock update_lock(&entry->update_mu);
   std::shared_ptr<GraphVersion> prev = entry->Current();
 
   // Validate the delta before anything expensive: a rejected delta must
@@ -422,7 +424,7 @@ StatusOr<GraphSnapshot> AtrService::UpdateGraph(const std::string& name,
   // order with no gaps.)
   std::shared_ptr<const UpdateListener> listener;
   {
-    std::lock_guard<std::mutex> lock(listener_mu_);
+    MutexLock lock(&listener_mu_);
     listener = update_listener_;
   }
   if (listener != nullptr && *listener) {
@@ -433,7 +435,7 @@ StatusOr<GraphSnapshot> AtrService::UpdateGraph(const std::string& name,
   {
     // Count the update inside the publication so a concurrent Info()
     // never observes delta_updates ahead of the published version.
-    std::lock_guard<std::mutex> lock(entry->version_mu);
+    MutexLock lock(&entry->version_mu);
     entry->current = next;
     entry->delta_updates.fetch_add(1, std::memory_order_relaxed);
     entry->delta_chain.fetch_add(1, std::memory_order_relaxed);
@@ -452,7 +454,7 @@ StatusOr<AtrService::GraphInfo> AtrService::Info(
   {
     // One critical section for both so delta_updates == version - 1 holds
     // for every reader (updates publish them together).
-    std::lock_guard<std::mutex> lock(entry->version_mu);
+    MutexLock lock(&entry->version_mu);
     version = entry->current;
     delta_updates = entry->delta_updates.load(std::memory_order_relaxed);
   }
@@ -653,14 +655,14 @@ void AtrService::RunBatch(std::vector<FairScheduler::Job> batch) {
   members.reserve(batch.size());
   for (FairScheduler::Job& job : batch) {
     auto state = std::static_pointer_cast<internal::JobState>(job.payload);
-    std::unique_lock<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     if (state->cancel.load(std::memory_order_relaxed)) {
-      lock.unlock();
+      lock.Unlock();
       internal::PublishCancelledBeforeStart(state);
       continue;
     }
     state->state = JobHandle::State::kRunning;
-    lock.unlock();
+    lock.Unlock();
     members.push_back(std::move(state));
   }
   if (members.empty()) return;
@@ -673,9 +675,9 @@ void AtrService::RunBatch(std::vector<FairScheduler::Job> batch) {
 
 void AtrService::RunJob(const std::shared_ptr<internal::JobState>& state) {
   {
-    std::unique_lock<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     if (state->cancel.load(std::memory_order_relaxed)) {
-      lock.unlock();
+      lock.Unlock();
       internal::PublishCancelledBeforeStart(state);
       return;
     }
@@ -708,7 +710,7 @@ void AtrService::RunJob(const std::shared_ptr<internal::JobState>& state) {
   effective.progress = [state, user_cancel,
                         user_progress](const SolveProgress& event) {
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(&state->mu);
       state->progress = event;
     }
     if (user_cancel != nullptr &&
@@ -764,7 +766,7 @@ void AtrService::RunFusedGreedy(
     bool any_live = false;
     for (const auto& state : live) {
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(&state->mu);
         if (event.round <= state->options.budget) {
           state->progress = event;
           state->progress.budget = state->options.budget;
@@ -862,7 +864,7 @@ void AtrService::RunFusedExact(
           EffectiveCheckpoints(state->options);
       auto it = std::find(checkpoints.begin(), checkpoints.end(), b);
       if (it == checkpoints.end()) continue;
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(&state->mu);
       state->progress.solver = state->solver_name;
       state->progress.round =
           static_cast<uint32_t>(it - checkpoints.begin()) + 1;

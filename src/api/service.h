@@ -71,7 +71,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -80,8 +79,10 @@
 #include "api/solver.h"
 #include "graph/graph.h"
 #include "truss/decomposition.h"
+#include "util/mutex.h"
 #include "util/scheduler.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace atr {
 
@@ -366,8 +367,9 @@ class AtrService {
   // catalog entries go away (running jobs additionally pin their entry
   // through shared_ptrs).
   struct Shard {
-    mutable std::mutex mu;  // guards catalog
-    std::map<std::string, std::shared_ptr<CatalogEntry>> catalog;
+    mutable Mutex mu;
+    std::map<std::string, std::shared_ptr<CatalogEntry>> catalog
+        ATR_GUARDED_BY(mu);
     std::unique_ptr<FairScheduler> scheduler;
   };
 
@@ -403,8 +405,9 @@ class AtrService {
       const std::vector<std::shared_ptr<internal::JobState>>& members);
 
   std::atomic<JobId> next_job_id_{1};
-  mutable std::mutex listener_mu_;  // guards update_listener_
-  std::shared_ptr<const UpdateListener> update_listener_;
+  mutable Mutex listener_mu_;
+  std::shared_ptr<const UpdateListener> update_listener_
+      ATR_GUARDED_BY(listener_mu_);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

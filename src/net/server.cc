@@ -51,9 +51,9 @@ struct AtrServer::JobRecord {
 // can fire on a worker thread before TrySubmit has even returned the job
 // id to the submitting (network) thread, so both sides rendezvous here.
 struct AtrServer::SubmitToken {
-  std::mutex mu;
-  uint64_t job_id = 0;
-  bool fired = false;
+  Mutex mu;
+  uint64_t job_id ATR_GUARDED_BY(mu) = 0;
+  bool fired ATR_GUARDED_BY(mu) = false;
 };
 
 AtrServer::AtrServer(Options options)
@@ -62,7 +62,9 @@ AtrServer::AtrServer(Options options)
                                                : &DefaultTransport()) {}
 
 AtrServer::~AtrServer() {
-  if (started_ && !stopped_) Stop();
+  // Destructor: nowhere to report a persist failure; callers wanting the
+  // status call Stop() themselves first.
+  if (started_ && !stopped_) (void)Stop();
   if (listen_fd_ >= 0) transport_->Close(listen_fd_);
   if (wake_read_fd_ >= 0) transport_->Close(wake_read_fd_);
   if (wake_write_fd_ >= 0) transport_->Close(wake_write_fd_);
@@ -540,7 +542,7 @@ void AtrServer::HandleSubmit(Connection& conn, const SubmitRequest& request) {
   auto done = [this, token] {
     uint64_t id = 0;
     {
-      std::lock_guard<std::mutex> lock(token->mu);
+      MutexLock lock(&token->mu);
       if (token->job_id == 0) {
         // Fired before the submitting thread learned the job id; it will
         // deliver the notification itself.
@@ -569,12 +571,12 @@ void AtrServer::HandleSubmit(Connection& conn, const SubmitRequest& request) {
 
   const uint64_t job_id = handle->id();
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    MutexLock lock(&jobs_mu_);
     jobs_[job_id].handle = *handle;
   }
   bool already_fired = false;
   {
-    std::lock_guard<std::mutex> lock(token->mu);
+    MutexLock lock(&token->mu);
     token->job_id = job_id;
     already_fired = token->fired;
   }
@@ -613,7 +615,7 @@ std::vector<uint8_t> AtrServer::FinishedJobFrame(uint64_t request_id,
 void AtrServer::HandleWait(Connection& conn, const WaitRequest& request) {
   std::vector<uint8_t> frame;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    MutexLock lock(&jobs_mu_);
     auto it = jobs_.find(request.job_id);
     if (it == jobs_.end()) {
       SendError(conn, request.request_id,
@@ -634,7 +636,7 @@ void AtrServer::HandleWait(Connection& conn, const WaitRequest& request) {
 void AtrServer::HandleCancel(Connection& conn, const CancelRequest& request) {
   JobHandle handle;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    MutexLock lock(&jobs_mu_);
     auto it = jobs_.find(request.job_id);
     if (it == jobs_.end()) {
       SendError(conn, request.request_id,
@@ -686,7 +688,7 @@ void AtrServer::HandleCompact(Connection& conn,
 
 void AtrServer::NotifyJobDone(uint64_t job_id) {
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    MutexLock lock(&jobs_mu_);
     completed_.push_back(job_id);
   }
   if (wake_write_fd_ >= 0) {
@@ -702,7 +704,7 @@ void AtrServer::ProcessCompletedJobs() {
   // after it — connections_ belongs to this (network) thread anyway.
   std::vector<std::pair<int, std::vector<uint8_t>>> deliveries;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    MutexLock lock(&jobs_mu_);
     std::vector<uint64_t> completed = std::move(completed_);
     completed_.clear();
     for (const uint64_t job_id : completed) {

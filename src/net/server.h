@@ -46,7 +46,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,7 +54,9 @@
 #include "net/transport.h"
 #include "net/wire.h"
 #include "persist/catalog.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace atr {
 namespace net {
@@ -160,9 +161,12 @@ class AtrServer {
   bool WriteToConnection(Connection& conn);
   void DispatchFrame(Connection& conn, const Frame& frame);
 
-  void HandleSubmit(Connection& conn, const SubmitRequest& request);
-  void HandleWait(Connection& conn, const WaitRequest& request);
-  void HandleCancel(Connection& conn, const CancelRequest& request);
+  void HandleSubmit(Connection& conn, const SubmitRequest& request)
+      ATR_EXCLUDES(jobs_mu_);
+  void HandleWait(Connection& conn, const WaitRequest& request)
+      ATR_EXCLUDES(jobs_mu_);
+  void HandleCancel(Connection& conn, const CancelRequest& request)
+      ATR_EXCLUDES(jobs_mu_);
   void HandleUpdateGraph(Connection& conn, const UpdateGraphRequest& request);
   void HandleCompact(Connection& conn, const CompactRequest& request);
 
@@ -172,12 +176,14 @@ class AtrServer {
 
   // Worker-side completion hook: records `job_id` as completed and wakes
   // the network thread.
-  void NotifyJobDone(uint64_t job_id);
+  void NotifyJobDone(uint64_t job_id) ATR_EXCLUDES(jobs_mu_);
   // Network-thread side: drains the completed list, answers waiters,
   // evicts old finished jobs.
-  void ProcessCompletedJobs();
-  // The response frame for a finished job (WaitResponse or kError).
-  std::vector<uint8_t> FinishedJobFrame(uint64_t request_id, JobRecord& job);
+  void ProcessCompletedJobs() ATR_EXCLUDES(jobs_mu_);
+  // The response frame for a finished job (WaitResponse or kError). The
+  // record lives in jobs_, so the caller holds jobs_mu_ across the call.
+  std::vector<uint8_t> FinishedJobFrame(uint64_t request_id, JobRecord& job)
+      ATR_REQUIRES(jobs_mu_);
 
   uint32_t RetryAfterMs(const std::string& tenant) const;
 
@@ -209,10 +215,12 @@ class AtrServer {
   std::map<int, std::unique_ptr<Connection>> connections_;
   int next_connection_id_ = 1;
 
-  std::mutex jobs_mu_;
-  std::map<uint64_t, JobRecord> jobs_;
-  std::vector<uint64_t> completed_;      // job ids awaiting ProcessCompleted
-  std::vector<uint64_t> finished_fifo_;  // eviction order for done jobs
+  Mutex jobs_mu_;
+  std::map<uint64_t, JobRecord> jobs_ ATR_GUARDED_BY(jobs_mu_);
+  // Job ids awaiting ProcessCompletedJobs.
+  std::vector<uint64_t> completed_ ATR_GUARDED_BY(jobs_mu_);
+  // Eviction order for done jobs.
+  std::vector<uint64_t> finished_fifo_ ATR_GUARDED_BY(jobs_mu_);
 };
 
 }  // namespace net

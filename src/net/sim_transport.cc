@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <optional>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace atr {
 namespace net {
@@ -17,7 +18,11 @@ namespace sim_internal {
 
 // One simulated connection, shared between the server side (through fake
 // descriptors) and the test side (through SimTransport::Connection
-// handles). Guarded by Core::mu.
+// handles). Every field is guarded by the OWNING Core's mu — a
+// cross-object capability the clang analysis cannot express on a
+// standalone struct (docs/STATIC_ANALYSIS.md, known limits), so the
+// contract lives in this comment and in the fact that every access in
+// this file sits inside a MutexLock on Core::mu.
 struct ConnState {
   std::deque<uint8_t> to_server;   // client → server, not yet read
   std::vector<uint8_t> to_client;  // server → client, not yet taken
@@ -42,20 +47,21 @@ struct Core {
     std::shared_ptr<ConnState> conn;  // kConn only
   };
 
-  mutable std::mutex mu;
-  std::condition_variable cv;
+  mutable Mutex mu;
+  CondVar cv;
 
-  int64_t now_ms = 0;
-  bool auto_advance = false;
-  int idle_poll_real_ms = 50;
+  int64_t now_ms ATR_GUARDED_BY(mu) = 0;
+  bool auto_advance ATR_GUARDED_BY(mu) = false;
+  int idle_poll_real_ms ATR_GUARDED_BY(mu) = 50;
 
-  std::map<int, Endpoint> fds;
-  int next_fd = 1000;  // far from any real descriptor, eases debugging
+  std::map<int, Endpoint> fds ATR_GUARDED_BY(mu);
+  // Far from any real descriptor, eases debugging.
+  int next_fd ATR_GUARDED_BY(mu) = 1000;
 
-  std::deque<std::shared_ptr<ConnState>> backlog;
-  std::deque<int> accept_errors;
-  size_t pipe_bytes = 0;
-  uint64_t accepts = 0;
+  std::deque<std::shared_ptr<ConnState>> backlog ATR_GUARDED_BY(mu);
+  std::deque<int> accept_errors ATR_GUARDED_BY(mu);
+  size_t pipe_bytes ATR_GUARDED_BY(mu) = 0;
+  uint64_t accepts ATR_GUARDED_BY(mu) = 0;
 };
 
 }  // namespace sim_internal
@@ -71,10 +77,10 @@ SimTransport::Connection::Connection(std::shared_ptr<Core> core,
     : core_(std::move(core)), state_(std::move(state)) {}
 
 void SimTransport::Connection::Send(const void* data, size_t len) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   state_->to_server.insert(state_->to_server.end(), bytes, bytes + len);
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 void SimTransport::Connection::Send(const std::vector<uint8_t>& bytes) {
@@ -82,100 +88,107 @@ void SimTransport::Connection::Send(const std::vector<uint8_t>& bytes) {
 }
 
 void SimTransport::Connection::Close() {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   state_->client_closed = true;
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 void SimTransport::Connection::Reset(int err) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   state_->reset_err = err;
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 std::vector<uint8_t> SimTransport::Connection::TakeOutput() {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   std::vector<uint8_t> out = std::move(state_->to_client);
   state_->to_client.clear();
-  core_->cv.notify_all();  // freed write space unblocks POLLOUT
+  core_->cv.NotifyAll();  // freed write space unblocks POLLOUT
   return out;
 }
 
 bool SimTransport::Connection::WaitForOutput(size_t min_unread,
                                              int timeout_real_ms) {
-  std::unique_lock<std::mutex> lock(core_->mu);
-  return core_->cv.wait_for(lock, std::chrono::milliseconds(timeout_real_ms),
-                            [&] {
-                              return state_->to_client.size() >= min_unread ||
-                                     state_->server_closed;
-                            }) &&
-         state_->to_client.size() >= min_unread;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_real_ms);
+  MutexLock lock(&core_->mu);
+  while (state_->to_client.size() < min_unread && !state_->server_closed) {
+    if (!core_->cv.WaitUntil(core_->mu, deadline)) break;
+  }
+  return state_->to_client.size() >= min_unread;
 }
 
 bool SimTransport::Connection::WaitClosedByServer(int timeout_real_ms) {
-  std::unique_lock<std::mutex> lock(core_->mu);
-  return core_->cv.wait_for(lock, std::chrono::milliseconds(timeout_real_ms),
-                            [&] { return state_->server_closed; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_real_ms);
+  MutexLock lock(&core_->mu);
+  while (!state_->server_closed) {
+    if (!core_->cv.WaitUntil(core_->mu, deadline)) break;
+  }
+  return state_->server_closed;
 }
 
 bool SimTransport::Connection::closed_by_server() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return state_->server_closed;
 }
 
 bool SimTransport::Connection::accepted_by_server() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return state_->accepted;
 }
 
 size_t SimTransport::Connection::pending_input() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return state_->to_server.size();
 }
 
 bool SimTransport::Connection::WaitForInputDrained(int timeout_real_ms) {
-  std::unique_lock<std::mutex> lock(core_->mu);
-  return core_->cv.wait_for(
-      lock, std::chrono::milliseconds(timeout_real_ms),
-      [&] { return state_->to_server.empty() || state_->server_closed; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_real_ms);
+  MutexLock lock(&core_->mu);
+  while (!state_->to_server.empty() && !state_->server_closed) {
+    if (!core_->cv.WaitUntil(core_->mu, deadline)) break;
+  }
+  return state_->to_server.empty() || state_->server_closed;
 }
 
 size_t SimTransport::Connection::pending_output() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return state_->to_client.size();
 }
 
 uint64_t SimTransport::Connection::total_output_bytes() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return state_->total_written;
 }
 
 void SimTransport::Connection::set_max_read_chunk(size_t n) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   state_->max_read_chunk = n;
 }
 
 void SimTransport::Connection::set_max_write_chunk(size_t n) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   state_->max_write_chunk = n;
 }
 
 void SimTransport::Connection::set_write_space(size_t n) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   state_->write_space = n;
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 void SimTransport::Connection::FailNextRead(int err) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   state_->fail_next_read = err;
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 void SimTransport::Connection::FailNextWrite(int err) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   state_->fail_next_write = err;
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 // --- SimTransport (server side) -------------------------------------------
@@ -186,44 +199,44 @@ SimTransport::~SimTransport() = default;
 std::shared_ptr<SimTransport::Connection> SimTransport::Connect() {
   auto state = std::make_shared<ConnState>();
   {
-    std::lock_guard<std::mutex> lock(core_->mu);
+    MutexLock lock(&core_->mu);
     core_->backlog.push_back(state);
-    core_->cv.notify_all();
+    core_->cv.NotifyAll();
   }
   return std::shared_ptr<Connection>(
       new Connection(core_, std::move(state)));
 }
 
 void SimTransport::AdvanceTimeMs(int64_t delta_ms) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   core_->now_ms += delta_ms;
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 int64_t SimTransport::now_ms() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return core_->now_ms;
 }
 
 void SimTransport::InjectAcceptError(int err, int times) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   for (int i = 0; i < times; ++i) core_->accept_errors.push_back(err);
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 void SimTransport::set_auto_advance(bool on) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   core_->auto_advance = on;
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 void SimTransport::set_idle_poll_real_ms(int ms) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   core_->idle_poll_real_ms = ms;
 }
 
 int SimTransport::open_connection_fds() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   int n = 0;
   for (const auto& [fd, ep] : core_->fds) {
     if (ep.kind == Kind::kConn) ++n;
@@ -232,19 +245,19 @@ int SimTransport::open_connection_fds() const {
 }
 
 int SimTransport::open_fds() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return static_cast<int>(core_->fds.size());
 }
 
 uint64_t SimTransport::accepts() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return core_->accepts;
 }
 
 Status SimTransport::OpenListener(const std::string& host, uint16_t port,
                                   int* listen_fd, uint16_t* bound_port) {
   (void)host;
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   const int fd = core_->next_fd++;
   core_->fds[fd] = {Kind::kListener, nullptr};
   *listen_fd = fd;
@@ -253,7 +266,7 @@ Status SimTransport::OpenListener(const std::string& host, uint16_t port,
 }
 
 Status SimTransport::OpenWakePipe(int* read_fd, int* write_fd) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   const int rfd = core_->next_fd++;
   const int wfd = core_->next_fd++;
   core_->fds[rfd] = {Kind::kPipeRead, nullptr};
@@ -264,7 +277,7 @@ Status SimTransport::OpenWakePipe(int* read_fd, int* write_fd) {
 }
 
 int SimTransport::OpenSpare() {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   const int fd = core_->next_fd++;
   core_->fds[fd] = {Kind::kSpare, nullptr};
   return fd;
@@ -272,7 +285,7 @@ int SimTransport::OpenSpare() {
 
 int SimTransport::Poll(pollfd* fds, size_t nfds, int timeout_ms, int* err) {
   (void)err;
-  std::unique_lock<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   const int64_t deadline =
       timeout_ms < 0 ? std::numeric_limits<int64_t>::max()
                      : core_->now_ms + timeout_ms;
@@ -333,9 +346,9 @@ int SimTransport::Poll(pollfd* fds, size_t nfds, int timeout_ms, int* err) {
     // clock to the deadline (auto-advance: reap/retry paths fire on an
     // idle loop) or return 0 with the clock frozen (deterministic mode:
     // the loop stays responsive, time only moves on AdvanceTimeMs).
-    const auto window = std::chrono::milliseconds(
-        core_->auto_advance ? 2 : core_->idle_poll_real_ms);
-    if (core_->cv.wait_for(lock, window) == std::cv_status::timeout) {
+    const int64_t window_ms =
+        core_->auto_advance ? 2 : core_->idle_poll_real_ms;
+    if (!core_->cv.WaitForMs(core_->mu, window_ms)) {
       if (core_->auto_advance) core_->now_ms = deadline;
       return 0;
     }
@@ -343,7 +356,7 @@ int SimTransport::Poll(pollfd* fds, size_t nfds, int timeout_ms, int* err) {
 }
 
 int SimTransport::Accept(int listen_fd, int* err) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   auto it = core_->fds.find(listen_fd);
   if (it == core_->fds.end() || it->second.kind != Kind::kListener) {
     *err = EBADF;
@@ -367,12 +380,12 @@ int SimTransport::Accept(int listen_fd, int* err) {
   core_->fds[fd] = {Kind::kConn, conn};
   conn->accepted = true;
   ++core_->accepts;
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
   return fd;
 }
 
 ssize_t SimTransport::Read(int fd, void* buf, size_t len, int* err) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   auto it = core_->fds.find(fd);
   if (it == core_->fds.end()) {
     *err = EBADF;
@@ -415,7 +428,7 @@ ssize_t SimTransport::Read(int fd, void* buf, size_t len, int* err) {
                 s.to_server.begin() + static_cast<ptrdiff_t>(n), out);
       s.to_server.erase(s.to_server.begin(),
                         s.to_server.begin() + static_cast<ptrdiff_t>(n));
-      core_->cv.notify_all();
+      core_->cv.NotifyAll();
       return static_cast<ssize_t>(n);
     }
     default:
@@ -425,7 +438,7 @@ ssize_t SimTransport::Read(int fd, void* buf, size_t len, int* err) {
 }
 
 ssize_t SimTransport::Write(int fd, const void* buf, size_t len, int* err) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   auto it = core_->fds.find(fd);
   if (it == core_->fds.end()) {
     *err = EBADF;
@@ -434,7 +447,7 @@ ssize_t SimTransport::Write(int fd, const void* buf, size_t len, int* err) {
   switch (it->second.kind) {
     case Kind::kPipeWrite:
       core_->pipe_bytes += len;
-      core_->cv.notify_all();
+      core_->cv.NotifyAll();
       return static_cast<ssize_t>(len);
     case Kind::kConn: {
       ConnState& s = *it->second.conn;
@@ -455,7 +468,7 @@ ssize_t SimTransport::Write(int fd, const void* buf, size_t len, int* err) {
       const uint8_t* bytes = static_cast<const uint8_t*>(buf);
       s.to_client.insert(s.to_client.end(), bytes, bytes + n);
       s.total_written += n;
-      core_->cv.notify_all();
+      core_->cv.NotifyAll();
       return static_cast<ssize_t>(n);
     }
     default:
@@ -465,18 +478,18 @@ ssize_t SimTransport::Write(int fd, const void* buf, size_t len, int* err) {
 }
 
 void SimTransport::Close(int fd) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   auto it = core_->fds.find(fd);
   if (it == core_->fds.end()) return;
   if (it->second.kind == Kind::kConn) {
     it->second.conn->server_closed = true;
   }
   core_->fds.erase(it);
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
 }
 
 int64_t SimTransport::NowMs() {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return core_->now_ms;
 }
 

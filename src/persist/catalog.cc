@@ -196,7 +196,7 @@ Status CatalogStore::SaveBaseSnapshot(const std::string& name,
   // which Load() skips.
   {
     // Drop the open append handle before the swap.
-    std::lock_guard<std::mutex> lock(writers_mu_);
+    MutexLock lock(&writers_mu_);
     writers_.erase(name);
   }
   Status reset = WriteFileAtomic(DeltaLogPath(name), {});
@@ -210,7 +210,7 @@ Status CatalogStore::SaveBaseSnapshot(const std::string& name,
 
 DeltaLogWriter* CatalogStore::Writer(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(writers_mu_);
+    MutexLock lock(&writers_mu_);
     auto it = writers_.find(name);
     if (it != writers_.end()) return it->second.get();
   }
@@ -219,7 +219,7 @@ DeltaLogWriter* CatalogStore::Writer(const std::string& name) {
   // thread races THIS name into the map.
   auto writer = std::make_unique<DeltaLogWriter>();
   if (!writer->Open(DeltaLogPath(name)).ok()) return nullptr;
-  std::lock_guard<std::mutex> lock(writers_mu_);
+  MutexLock lock(&writers_mu_);
   return writers_.emplace(name, std::move(writer)).first->second.get();
 }
 
@@ -246,7 +246,7 @@ Status CatalogStore::RewriteDeltaLog(const std::string& name,
     bytes.insert(bytes.end(), one.begin(), one.end());
   }
   {
-    std::lock_guard<std::mutex> lock(writers_mu_);
+    MutexLock lock(&writers_mu_);
     writers_.erase(name);
   }
   return WriteFileAtomic(DeltaLogPath(name), bytes);
@@ -323,7 +323,7 @@ Status PersistentCatalog::RestoreOne(const std::string& name) {
   return Status::Ok();
 }
 
-std::mutex& PersistentCatalog::StripeFor(const std::string& name) {
+Mutex& PersistentCatalog::StripeFor(const std::string& name) {
   return stripes_[std::hash<std::string>{}(name) % kLockStripes];
 }
 
@@ -332,7 +332,7 @@ Status PersistentCatalog::AddGraph(const std::string& name, Graph graph) {
     return Status::InvalidArgument("PersistentCatalog: invalid graph name \"" +
                                    name + "\"");
   }
-  std::lock_guard<std::mutex> lock(StripeFor(name));
+  MutexLock lock(&StripeFor(name));
   Status added = service_.AddGraph(name, std::move(graph));
   if (!added.ok()) return added;
   // Pay the one build now; the base snapshot needs the decomposition and a
@@ -345,7 +345,7 @@ Status PersistentCatalog::AddGraph(const std::string& name, Graph graph) {
 
 StatusOr<GraphSnapshot> PersistentCatalog::UpdateGraph(
     const std::string& name, const GraphDelta& delta) {
-  std::lock_guard<std::mutex> lock(StripeFor(name));
+  MutexLock lock(&StripeFor(name));
   StatusOr<GraphSnapshot> updated = service_.UpdateGraph(name, delta);
   if (!updated.ok()) return updated;
   if (options_.compact_threshold > 0) {
@@ -359,7 +359,7 @@ StatusOr<GraphSnapshot> PersistentCatalog::UpdateGraph(
 }
 
 Status PersistentCatalog::Compact(const std::string& name) {
-  std::lock_guard<std::mutex> lock(StripeFor(name));
+  MutexLock lock(&StripeFor(name));
   return CompactLocked(name);
 }
 
@@ -377,7 +377,7 @@ Status PersistentCatalog::PersistAll() {
   Status first_error = Status::Ok();
   for (const std::string& name : service_.GraphNames()) {
     if (!CatalogStore::ValidGraphName(name)) continue;  // not persisted
-    std::lock_guard<std::mutex> lock(StripeFor(name));
+    MutexLock lock(&StripeFor(name));
     Status compacted = CompactLocked(name);
     if (!compacted.ok() && first_error.ok()) first_error = compacted;
   }

@@ -451,6 +451,7 @@ uint32_t IncrementalTruss::ApplyAnchor(EdgeId e,
       {
         const TrussDecomposition oracle =
             ComputeTrussDecompositionOnSubset(*g_, anchored_, AliveEdges());
+        // atr-lint: allow(stderr) — ATR_INC_DEBUG-only oracle diagnostics
         std::fprintf(stderr, "mismatch anchor=%u changes=%u followers=%zu\n",
                      e, trussness_changes, follower_scratch_.size());
         for (const EdgeId r : region_) {
@@ -458,6 +459,7 @@ uint32_t IncrementalTruss::ApplyAnchor(EdgeId e,
               sim_l_[r] != decomp_.layer[r] ||
               oracle.trussness[r] != decomp_.trussness[r] ||
               oracle.layer[r] != decomp_.layer[r]) {
+            // atr-lint: allow(stderr) — ATR_INC_DEBUG-only oracle diagnostics
             std::fprintf(stderr,
                          "  region e=%u stored=(%u,%u) sim=(%u,%u) "
                          "oracle=(%u,%u)\n",

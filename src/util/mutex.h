@@ -1,0 +1,138 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers — the
+// capability types behind the project's clang thread-safety analysis
+// (util/thread_annotations.h, docs/STATIC_ANALYSIS.md).
+//
+// std::mutex carries no capability attributes in libstdc++, so fields
+// declared ATR_GUARDED_BY(a std::mutex) would be unenforceable: clang
+// would never see an acquire. These wrappers are zero-cost forwarding
+// shims around the std types with the attributes attached:
+//
+//   class Account {
+//    public:
+//     void Deposit(int64_t amount) ATR_EXCLUDES(mu_) {
+//       MutexLock lock(&mu_);
+//       balance_ += amount;         // OK: mu_ is held
+//       cv_.NotifyAll();
+//     }
+//    private:
+//     Mutex mu_;
+//     CondVar cv_;
+//     int64_t balance_ ATR_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Condition waits never use predicate lambdas: clang analyzes a lambda as
+// a free function that holds nothing, so `cv.wait(lock, [&]{ ...guarded
+// fields... })` reports false positives. Write the loop out instead —
+// `while (!ready_) cv_.Wait(mu_);` — which the analysis follows exactly.
+//
+// Lock/Unlock are public so the wrapper stays general, but hand-written
+// lock/unlock pairs are banned by tools/atr_lint.py outside this file:
+// every acquisition in src/ goes through MutexLock so early returns and
+// exceptions cannot leak a held mutex.
+
+#ifndef ATR_UTIL_MUTEX_H_
+#define ATR_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace atr {
+
+// Exclusive capability wrapping std::mutex.
+class ATR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ATR_ACQUIRE() { mu_.lock(); }
+  void Unlock() ATR_RELEASE() { mu_.unlock(); }
+  bool TryLock() ATR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // The wrapped handle, for CondVar's adopt-and-release wait below. Not
+  // for direct locking — that would be invisible to the analysis.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII guard; the only sanctioned way to acquire a Mutex outside
+// util/mutex.h. Shape follows the scoped-capability example in the LLVM
+// thread-safety docs: Unlock/Lock allow dropping the mutex mid-scope
+// (publishing a result before invoking a caller-owned hook), and the
+// destructor releases only when still held.
+class ATR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ATR_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu->Lock();
+  }
+  ~MutexLock() ATR_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Early release / re-acquire inside the scope.
+  void Unlock() ATR_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+  void Lock() ATR_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_;
+};
+
+// Condition variable paired with Mutex. Waits temporarily adopt the
+// wrapped std::mutex so the fast std::condition_variable (not
+// condition_variable_any) does the parking; the capability is held at
+// entry and at exit, which is exactly what ATR_REQUIRES states.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  // Blocks until notified (spurious wakeups included — always wait in a
+  // `while (!predicate)` loop).
+  void Wait(Mutex& mu) ATR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.native(), std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  // Returns false when `deadline` passed without a notification.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      ATR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(adopted, deadline);
+    adopted.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  // Returns false on timeout. Negative or zero waits time out immediately
+  // after one predicate-free check, like std::condition_variable.
+  bool WaitForMs(Mutex& mu, int64_t timeout_ms) ATR_REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(timeout_ms));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace atr
+
+#endif  // ATR_UTIL_MUTEX_H_

@@ -42,9 +42,8 @@ Status FairScheduler::Submit(Job job) {
   ATR_CHECK_MSG(!t_sched_worker,
                 "FairScheduler::Submit called from a scheduler worker; a "
                 "full queue would deadlock the worker against itself");
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return total_pending_ < capacity_ || shutdown_; });
+  MutexLock lock(&mu_);
+  while (total_pending_ >= capacity_ && !shutdown_) not_full_.Wait(mu_);
   if (shutdown_) {
     return Status::FailedPrecondition("FairScheduler::Submit after Shutdown");
   }
@@ -56,12 +55,12 @@ Status FairScheduler::Submit(Job job) {
   t.buckets[job.priority].push_back(std::move(job));
   ++t.queued;
   ++total_pending_;
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::Ok();
 }
 
 Status FairScheduler::TrySubmit(Job job) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (shutdown_) {
     return Status::FailedPrecondition(
         "FairScheduler::TrySubmit after Shutdown");
@@ -79,27 +78,27 @@ Status FairScheduler::TrySubmit(Job job) {
   t.buckets[job.priority].push_back(std::move(job));
   ++t.queued;
   ++total_pending_;
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::Ok();
 }
 
 void FairScheduler::SetTenantWeight(const std::string& tenant,
                                     uint32_t weight) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   tenants_[tenant].weight = std::max<uint32_t>(1, weight);
 }
 
 void FairScheduler::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return total_pending_ == 0 && running_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(total_pending_ == 0 && running_ == 0)) idle_.Wait(mu_);
 }
 
 void FairScheduler::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
@@ -107,34 +106,34 @@ void FairScheduler::Shutdown() {
 }
 
 size_t FairScheduler::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_pending_;
 }
 
 size_t FairScheduler::Load() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_pending_ + running_;
 }
 
 size_t FairScheduler::TenantLoad(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return 0;
   return it->second.queued + it->second.running;
 }
 
 uint64_t FairScheduler::jobs_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return jobs_executed_;
 }
 
 uint64_t FairScheduler::batches_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return batches_executed_;
 }
 
 uint64_t FairScheduler::jobs_fused() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return jobs_fused_;
 }
 
@@ -224,9 +223,8 @@ void FairScheduler::WorkerLoop() {
     std::vector<Job> batch;
     std::vector<std::string> batch_tenants;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock,
-                      [this] { return total_pending_ > 0 || shutdown_; });
+      MutexLock lock(&mu_);
+      while (total_pending_ == 0 && !shutdown_) not_empty_.Wait(mu_);
       if (total_pending_ == 0) return;  // shutdown with a drained queue
       batch = NextBatchLocked();
       running_ += batch.size();
@@ -236,12 +234,12 @@ void FairScheduler::WorkerLoop() {
         batch_tenants.push_back(job.tenant);
       }
       // A batch may have freed several capacity slots at once.
-      not_full_.notify_all();
+      not_full_.NotifyAll();
     }
     const size_t fused = batch.size();
     runner_(std::move(batch));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       running_ -= fused;
       for (const std::string& tenant : batch_tenants) {
         --tenants_[tenant].running;
@@ -249,7 +247,7 @@ void FairScheduler::WorkerLoop() {
       jobs_executed_ += fused;
       ++batches_executed_;
       if (fused > 1) jobs_fused_ += fused;
-      if (total_pending_ == 0 && running_ == 0) idle_.notify_all();
+      if (total_pending_ == 0 && running_ == 0) idle_.NotifyAll();
     }
   }
 }

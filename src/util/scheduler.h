@@ -32,18 +32,18 @@
 #ifndef ATR_UTIL_SCHEDULER_H_
 #define ATR_UTIL_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace atr {
 
@@ -86,39 +86,40 @@ class FairScheduler {
   // Enqueues `job`; blocks while the pending count is at capacity.
   // kFailedPrecondition after Shutdown. Must not be called from a
   // scheduler worker (CHECK: a full queue would deadlock the worker).
-  Status Submit(Job job);
+  Status Submit(Job job) ATR_EXCLUDES(mu_);
 
   // Non-blocking Submit: kResourceExhausted at capacity.
-  Status TrySubmit(Job job);
+  Status TrySubmit(Job job) ATR_EXCLUDES(mu_);
 
   // Dispatch share for `tenant` (default weight 1). Takes effect at the
   // tenant's next DRR visit. Weight 0 is clamped to 1.
-  void SetTenantWeight(const std::string& tenant, uint32_t weight);
+  void SetTenantWeight(const std::string& tenant, uint32_t weight)
+      ATR_EXCLUDES(mu_);
 
   // Blocks until no job is pending or running.
-  void WaitIdle();
+  void WaitIdle() ATR_EXCLUDES(mu_);
 
   // Stops accepting work, drains everything queued, joins the workers.
   // Idempotent; the destructor calls it.
-  void Shutdown();
+  void Shutdown() ATR_EXCLUDES(mu_);
 
   int workers() const { return static_cast<int>(threads_.size()); }
   size_t capacity() const { return capacity_; }
   size_t max_batch() const { return max_batch_; }
 
   // Jobs waiting to run right now. Racy — admission heuristics only.
-  size_t pending() const;
+  size_t pending() const ATR_EXCLUDES(mu_);
   // Pending plus running: the load signal behind retry-after estimates.
-  size_t Load() const;
+  size_t Load() const ATR_EXCLUDES(mu_);
   // Pending plus running for one tenant (per-tenant retry-after hints).
-  size_t TenantLoad(const std::string& tenant) const;
+  size_t TenantLoad(const std::string& tenant) const ATR_EXCLUDES(mu_);
 
   // Monotonic counters. jobs_executed counts individual jobs;
   // batches_executed counts runner invocations, so the difference is the
   // work fusion saved; jobs_fused counts jobs that rode in a batch of >1.
-  uint64_t jobs_executed() const;
-  uint64_t batches_executed() const;
-  uint64_t jobs_fused() const;
+  uint64_t jobs_executed() const ATR_EXCLUDES(mu_);
+  uint64_t batches_executed() const ATR_EXCLUDES(mu_);
+  uint64_t jobs_fused() const ATR_EXCLUDES(mu_);
 
  private:
   // Per-tenant state: priority buckets (higher first), each FIFO.
@@ -131,14 +132,15 @@ class FairScheduler {
     bool in_ring = false;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() ATR_EXCLUDES(mu_);
   // Picks the next batch under mu_. Requires total_pending_ > 0.
-  std::vector<Job> NextBatchLocked();
+  std::vector<Job> NextBatchLocked() ATR_REQUIRES(mu_);
   // Removes up to max_batch_-1 additional jobs matching `key` from every
   // queue (FIFO within each bucket), appending to `batch`. Takes the key
   // by value: the caller's copy lives inside `batch`, which reallocates.
-  void CollectBatchLocked(std::string key, std::vector<Job>* batch);
-  void DropFromRingLocked(const std::string& tenant);
+  void CollectBatchLocked(std::string key, std::vector<Job>* batch)
+      ATR_REQUIRES(mu_);
+  void DropFromRingLocked(const std::string& tenant) ATR_REQUIRES(mu_);
 
   size_t capacity_ = 0;
   int threads_per_job_ = 1;
@@ -146,19 +148,21 @@ class FairScheduler {
   uint32_t quantum_ = 1;
   BatchRunner runner_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::condition_variable idle_;
-  std::map<std::string, TenantQueue> tenants_;
-  std::vector<std::string> ring_;  // tenants with queued jobs, DRR order
-  size_t cursor_ = 0;              // ring_ index of the next tenant to serve
-  size_t total_pending_ = 0;
-  size_t running_ = 0;
-  uint64_t jobs_executed_ = 0;
-  uint64_t batches_executed_ = 0;
-  uint64_t jobs_fused_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  CondVar idle_;
+  std::map<std::string, TenantQueue> tenants_ ATR_GUARDED_BY(mu_);
+  // Tenants with queued jobs, DRR order.
+  std::vector<std::string> ring_ ATR_GUARDED_BY(mu_);
+  // ring_ index of the next tenant to serve.
+  size_t cursor_ ATR_GUARDED_BY(mu_) = 0;
+  size_t total_pending_ ATR_GUARDED_BY(mu_) = 0;
+  size_t running_ ATR_GUARDED_BY(mu_) = 0;
+  uint64_t jobs_executed_ ATR_GUARDED_BY(mu_) = 0;
+  uint64_t batches_executed_ ATR_GUARDED_BY(mu_) = 0;
+  uint64_t jobs_fused_ ATR_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ATR_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> threads_;
 };

@@ -34,7 +34,12 @@ enum class StatusCode {
 
 // Value-semantic error carrier. An engaged message is only present for
 // non-OK statuses.
-class Status {
+//
+// [[nodiscard]]: a dropped Status is a swallowed failure — the compiler
+// rejects call sites that ignore one. Genuinely best-effort paths (e.g.
+// a drain-phase write whose peer may already be gone) must say so with
+// `(void)` and a reason comment; see docs/STATIC_ANALYSIS.md.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -90,9 +95,10 @@ inline const char* StatusCodeName(StatusCode code) {
 }
 
 // Holds either a value of type T or a non-OK Status. Accessing value() on an
-// errored StatusOr aborts (programming error).
+// errored StatusOr aborts (programming error). [[nodiscard]] like Status:
+// discarding one silently drops both the value and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   StatusOr(T value) : status_(), value_(std::move(value)), has_value_(true) {}

@@ -39,9 +39,8 @@ Status TaskQueue::Submit(std::function<void()> task) {
   ATR_CHECK_MSG(!t_pool_worker,
                 "TaskQueue::Submit called from a pool worker; a full queue "
                 "would deadlock the worker against itself");
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return pending_.size() < capacity_ || shutdown_; });
+  MutexLock lock(&mu_);
+  while (pending_.size() >= capacity_ && !shutdown_) not_full_.Wait(mu_);
   if (shutdown_) {
     // Shutdown raced (or preceded) this Submit: the workers are draining or
     // joined, so enqueueing would either run nothing or deadlock a blocked
@@ -49,12 +48,12 @@ Status TaskQueue::Submit(std::function<void()> task) {
     return Status::FailedPrecondition("TaskQueue::Submit after Shutdown");
   }
   pending_.push_back(std::move(task));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::Ok();
 }
 
 Status TaskQueue::TrySubmit(std::function<void()> task) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (shutdown_) {
     return Status::FailedPrecondition("TaskQueue::TrySubmit after Shutdown");
   }
@@ -64,21 +63,21 @@ Status TaskQueue::TrySubmit(std::function<void()> task) {
         std::to_string(capacity_) + ")");
   }
   pending_.push_back(std::move(task));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::Ok();
 }
 
 void TaskQueue::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return pending_.empty() && running_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(pending_.empty() && running_ == 0)) idle_.Wait(mu_);
 }
 
 void TaskQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
@@ -86,17 +85,17 @@ void TaskQueue::Shutdown() {
 }
 
 uint64_t TaskQueue::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return executed_;
 }
 
 size_t TaskQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_.size();
 }
 
 size_t TaskQueue::Load() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_.size() + running_;
 }
 
@@ -108,21 +107,20 @@ void TaskQueue::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock,
-                      [this] { return !pending_.empty() || shutdown_; });
+      MutexLock lock(&mu_);
+      while (pending_.empty() && !shutdown_) not_empty_.Wait(mu_);
       if (pending_.empty()) return;  // shutdown with a drained queue
       task = std::move(pending_.front());
       pending_.pop_front();
       ++running_;
-      not_full_.notify_one();
+      not_full_.NotifyOne();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --running_;
       ++executed_;
-      if (pending_.empty() && running_ == 0) idle_.notify_all();
+      if (pending_.empty() && running_ == 0) idle_.NotifyAll();
     }
   }
 }

@@ -22,15 +22,15 @@
 #ifndef ATR_UTIL_TASK_QUEUE_H_
 #define ATR_UTIL_TASK_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace atr {
 
@@ -64,51 +64,52 @@ class TaskQueue {
   // enqueueing — the task is dropped, never run, and no caller deadlocks
   // against a pool that will not drain. Must not be called from a pool
   // worker (CHECK: a full queue would deadlock the worker against itself).
-  Status Submit(std::function<void()> task);
+  Status Submit(std::function<void()> task) ATR_EXCLUDES(mu_);
 
   // Non-blocking Submit: kResourceExhausted when the queue is at capacity
   // (the admission-control signal the networked front end turns into a
   // structured retry-after reject), kFailedPrecondition after Shutdown.
-  Status TrySubmit(std::function<void()> task);
+  Status TrySubmit(std::function<void()> task) ATR_EXCLUDES(mu_);
 
   // Blocks until every task submitted so far has finished and the queue is
   // empty. Tasks submitted concurrently with WaitIdle may or may not be
   // waited on.
-  void WaitIdle();
+  void WaitIdle() ATR_EXCLUDES(mu_);
 
   // Stops accepting work, runs everything already queued, joins the
   // workers. Idempotent; the destructor calls it.
-  void Shutdown();
+  void Shutdown() ATR_EXCLUDES(mu_);
 
   int workers() const { return static_cast<int>(threads_.size()); }
   size_t capacity() const { return capacity_; }
   int threads_per_task() const { return threads_per_task_; }
 
   // Total tasks that finished running (monotonic).
-  uint64_t tasks_executed() const;
+  uint64_t tasks_executed() const ATR_EXCLUDES(mu_);
 
   // Tasks waiting to run right now (excludes the ones already running).
   // Racy by nature — admission-control heuristics only.
-  size_t pending() const;
+  size_t pending() const ATR_EXCLUDES(mu_);
 
   // Pending plus running: the load signal behind retry-after estimates.
-  size_t Load() const;
+  size_t Load() const ATR_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ATR_EXCLUDES(mu_);
 
   size_t capacity_ = 0;
   int threads_per_task_ = 1;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;   // workers wait for tasks
-  std::condition_variable not_full_;    // producers wait for space
-  std::condition_variable idle_;        // WaitIdle waits for quiescence
-  std::deque<std::function<void()>> pending_;
-  size_t running_ = 0;
-  uint64_t executed_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;  // workers wait for tasks
+  CondVar not_full_;   // producers wait for space
+  CondVar idle_;       // WaitIdle waits for quiescence
+  std::deque<std::function<void()>> pending_ ATR_GUARDED_BY(mu_);
+  size_t running_ ATR_GUARDED_BY(mu_) = 0;
+  uint64_t executed_ ATR_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ATR_GUARDED_BY(mu_) = false;
 
+  // Immutable between the constructor's spawns and Shutdown's joins.
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,75 @@
+// Clang thread-safety-analysis annotation macros (ATR_GUARDED_BY,
+// ATR_REQUIRES, ...). Under clang with -Wthread-safety these expand to the
+// capability attributes the static analysis consumes; under every other
+// compiler they expand to nothing, so gcc builds are unaffected.
+//
+// The annotations only bite on capability types. std::mutex carries no
+// capability attributes in libstdc++, so the lockable layers use the
+// annotated wrappers in util/mutex.h (atr::Mutex / atr::MutexLock /
+// atr::CondVar) instead — see docs/STATIC_ANALYSIS.md for the conventions
+// and the suppression policy.
+//
+// Naming follows the LLVM documentation (Acquire/Release spelling), with
+// an ATR_ prefix so the macros cannot collide with a vendored library's.
+
+#ifndef ATR_UTIL_THREAD_ANNOTATIONS_H_
+#define ATR_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ATR_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ATR_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// Class attribute: the type is a capability ("mutex" in diagnostics).
+#define ATR_CAPABILITY(x) ATR_THREAD_ANNOTATION_(capability(x))
+
+// Class attribute: RAII object that acquires on construction and releases
+// on destruction (MutexLock).
+#define ATR_SCOPED_CAPABILITY ATR_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data member: may only be touched while holding the given capability.
+#define ATR_GUARDED_BY(x) ATR_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer member: the pointee (not the pointer) needs the capability.
+#define ATR_PT_GUARDED_BY(x) ATR_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function: caller must hold the capability (the *Locked() helpers).
+#define ATR_REQUIRES(...) \
+  ATR_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ATR_REQUIRES_SHARED(...) \
+  ATR_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function: acquires / releases the capability (Mutex::Lock / Unlock).
+#define ATR_ACQUIRE(...) \
+  ATR_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ATR_ACQUIRE_SHARED(...) \
+  ATR_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define ATR_RELEASE(...) \
+  ATR_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ATR_RELEASE_SHARED(...) \
+  ATR_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// Function: acquires the capability iff the return value equals the first
+// argument (Mutex::TryLock).
+#define ATR_TRY_ACQUIRE(...) \
+  ATR_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Function: caller must NOT hold the capability (public entry points of a
+// class that lock internally — turns self-deadlock into a compile error).
+#define ATR_EXCLUDES(...) ATR_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Function: tells the analysis the capability is held from here on
+// (runtime-checked assertion, e.g. Mutex::AssertHeld).
+#define ATR_ASSERT_CAPABILITY(x) \
+  ATR_THREAD_ANNOTATION_(assert_capability(x))
+
+// Function: returns a reference to the given capability.
+#define ATR_RETURN_CAPABILITY(x) ATR_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch. Every use must carry a justification comment and is
+// audited by docs/STATIC_ANALYSIS.md's suppression policy.
+#define ATR_NO_THREAD_SAFETY_ANALYSIS \
+  ATR_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // ATR_UTIL_THREAD_ANNOTATIONS_H_

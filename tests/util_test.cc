@@ -238,7 +238,9 @@ TEST(TaskQueue, RunsEveryTaskAndWaitsIdle) {
   TaskQueue queue(options);
   std::atomic<int> ran{0};
   for (int i = 0; i < 50; ++i) {
-    queue.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    ASSERT_TRUE(
+        queue.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); })
+            .ok());
   }
   queue.WaitIdle();
   EXPECT_EQ(ran.load(), 50);
@@ -252,7 +254,8 @@ TEST(TaskQueue, SingleWorkerPreservesSubmissionOrder) {
   TaskQueue queue(options);
   std::vector<int> order;
   for (int i = 0; i < 20; ++i) {
-    queue.Submit([&order, i] { order.push_back(i); });  // one worker: no race
+    // One worker: no race on `order`.
+    ASSERT_TRUE(queue.Submit([&order, i] { order.push_back(i); }).ok());
   }
   queue.WaitIdle();
   ASSERT_EQ(order.size(), 20u);
@@ -270,12 +273,14 @@ TEST(TaskQueue, TrySubmitFailsOnlyWhileFull) {
   std::condition_variable gate_cv;
   bool parked = false;
   bool release = false;
-  queue.Submit([&] {
-    std::unique_lock<std::mutex> lock(gate_mu);
-    parked = true;
-    gate_cv.notify_all();
-    gate_cv.wait(lock, [&] { return release; });
-  });
+  ASSERT_TRUE(queue
+                  .Submit([&] {
+                    std::unique_lock<std::mutex> lock(gate_mu);
+                    parked = true;
+                    gate_cv.notify_all();
+                    gate_cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
   {
     std::unique_lock<std::mutex> lock(gate_mu);
     gate_cv.wait(lock, [&] { return parked; });
@@ -323,16 +328,18 @@ TEST(TaskQueue, ComposesWithScopedParallelism) {
   EXPECT_EQ(queue.threads_per_task(), 2);
 
   std::atomic<int> seen{0};
-  queue.Submit([&seen] { seen.store(ParallelWorkerCount()); });
+  ASSERT_TRUE(queue.Submit([&seen] { seen.store(ParallelWorkerCount()); }).ok());
   queue.WaitIdle();
   EXPECT_EQ(seen.load(), 2);
 
   // An explicit per-task override (SolverOptions::threads) still wins.
   std::atomic<int> overridden{0};
-  queue.Submit([&overridden] {
-    ScopedParallelism mine(5);
-    overridden.store(ParallelWorkerCount());
-  });
+  ASSERT_TRUE(queue
+                  .Submit([&overridden] {
+                    ScopedParallelism mine(5);
+                    overridden.store(ParallelWorkerCount());
+                  })
+                  .ok());
   queue.WaitIdle();
   EXPECT_EQ(overridden.load(), 5);
 }
@@ -344,7 +351,9 @@ TEST(TaskQueue, ShutdownDrainsPendingTasks) {
     options.workers = 2;
     TaskQueue queue(options);
     for (int i = 0; i < 10; ++i) {
-      queue.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      ASSERT_TRUE(
+          queue.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); })
+              .ok());
     }
     // Destructor shuts down: every submitted task still runs.
   }

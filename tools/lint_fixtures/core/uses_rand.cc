@@ -1,0 +1,11 @@
+// Fixture: ambient randomness in a core/ path. atr_lint.py must flag
+// every line marked VIOLATION under rule `determinism`.
+
+#include <cstdlib>
+#include <random>
+
+int PickPivot(int n) {
+  std::random_device entropy;          // VIOLATION: determinism
+  (void)entropy;
+  return rand() % n;                   // VIOLATION: determinism
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock time in a core/ path. atr_lint.py must flag every
+// line marked VIOLATION under rule `determinism`.
+
+#include <chrono>
+#include <ctime>
+
+long StampSeed() {
+  auto now = std::chrono::system_clock::now();  // VIOLATION: determinism
+  (void)now;
+  return std::time(nullptr);                    // VIOLATION: determinism
+}

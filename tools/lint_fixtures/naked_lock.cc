@@ -1,0 +1,22 @@
+// Fixture: naked mutex manipulation outside util/mutex.h. atr_lint.py
+// must flag every line marked VIOLATION under rule `raii-lock`.
+
+#include <mutex>
+
+static std::mutex g_mu;
+static int g_count = 0;
+
+void Bump() {
+  g_mu.lock();              // VIOLATION: raii-lock
+  ++g_count;
+  g_mu.unlock();            // VIOLATION: raii-lock
+}
+
+bool TryBump() {
+  if (!g_mu.try_lock()) {   // VIOLATION: raii-lock
+    return false;
+  }
+  ++g_count;
+  g_mu.unlock();            // VIOLATION: raii-lock
+  return true;
+}

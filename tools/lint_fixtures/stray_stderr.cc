@@ -1,0 +1,8 @@
+// Fixture: raw stderr logging outside the sanctioned files. atr_lint.py
+// must flag the line marked VIOLATION under rule `stderr`.
+
+#include <cstdio>
+
+void Complain(int code) {
+  std::fprintf(stderr, "something went wrong: %d\n", code);  // VIOLATION: stderr
+}

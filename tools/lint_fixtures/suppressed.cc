@@ -1,0 +1,19 @@
+// Fixture: violations carrying reviewed suppressions — must lint CLEAN.
+// Both suppression placements are exercised: trailing comment and a
+// comment alone on the line above.
+
+#include <cstdio>
+#include <mutex>
+
+static std::mutex g_mu;
+
+void LogFatalishThing(int code) {
+  std::fprintf(stderr, "boom %d\n", code);  // atr-lint: allow(stderr)
+}
+
+void AdoptForeignLock() {
+  // atr-lint: allow(raii-lock)
+  g_mu.lock();
+  // atr-lint: allow(raii-lock)
+  g_mu.unlock();
+}
