@@ -5,6 +5,13 @@
 // serial result before its time is reported, so the table can never show
 // a "speedup" that changed the answer.
 //
+// --plan switches to the DecompositionPlan sweep: every plan
+// (truss/plan.h) at a single thread against the serial oracle, reporting
+// the flat SoA kernels' single-thread advantage (the PR 10 acceptance bar
+// is > 2x for bsp on the Fig. 9 graphs). Rows carry
+// config = "plan:<name>" so scripts/bench_diff.py tracks each plan as its
+// own trajectory.
+//
 // Knobs:
 //   ATR_BENCH_PAR_THREADS — comma-separated thread counts (default 1,2,4,8)
 //   ATR_BENCH_PAR_REPS    — repetitions per configuration, best is kept
@@ -13,12 +20,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "truss/decomposition.h"
 #include "truss/parallel_peel.h"
+#include "truss/plan.h"
 #include "util/env.h"
 #include "util/parallel_for.h"
 #include "util/table_printer.h"
@@ -128,11 +137,70 @@ void Run() {
       "hardware-independent signal.\n");
 }
 
+// The --plan sweep: every DecompositionPlan at one thread, byte-identity
+// asserted against the serial oracle before any time is reported.
+void RunPlanSweep() {
+  PrintBenchHeader("bench_plan_sweep", "Fig. 9 hot path, plan kernels");
+  const int reps = static_cast<int>(
+      std::max<int64_t>(1, GetEnvInt64("ATR_BENCH_PAR_REPS", 3)));
+  std::printf("reps per configuration: %d (best kept), 1 thread\n", reps);
+
+  for (const char* name : {"patents", "pokec"}) {
+    const DatasetInstance data = MakeDataset(name, BenchScale());
+    const Graph& g = data.graph;
+    std::printf("\ndataset %s (|V|=%u |E|=%u k_max=%u)\n", name,
+                g.NumVertices(), g.NumEdges(), data.k_max);
+
+    ScopedParallelism parallelism(1);
+    TrussDecomposition serial;
+    const double serial_seconds = BestSeconds(
+        reps, [&] { serial = ComputeTrussDecompositionSerial(g); });
+
+    TablePrinter table({"Plan", "ms", "speedup_vs_serial"});
+    table.AddRow({"serial-oracle",
+                  TablePrinter::FormatDouble(serial_seconds * 1e3, 2),
+                  "1.00"});
+    BenchJsonRow json("bench_plan_sweep");
+    for (const DecompositionPlan& plan :
+         {DecompositionPlan::Serial(), DecompositionPlan::Bsp(),
+          DecompositionPlan::BspCoreThenTruss()}) {
+      TrussDecomposition result;
+      const double seconds = BestSeconds(reps, [&] {
+        result = ComputeTrussDecompositionWithPlan(g, {}, plan);
+      });
+      ExpectIdentical(serial, result, name, 1);
+      table.AddRow({plan.Name(), TablePrinter::FormatDouble(seconds * 1e3, 2),
+                    TablePrinter::FormatDouble(serial_seconds / seconds, 2)});
+      json.Add("dataset", name)
+          .Add("config", "plan:" + plan.Name())
+          .AddInt("threads", 1)
+          .AddInt("edges", g.NumEdges())
+          .AddDouble("ms", seconds * 1e3)
+          .AddDouble("speedup_vs_serial", serial_seconds / seconds)
+          .Emit();
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nexpected shape: the flat bsp kernels beat the serial bucket peel "
+      "at one thread (acceptance bar > 2x on the Fig. 9 graphs); "
+      "bsp-core-truss adds the k-core prefilter, which pays on graphs with "
+      "a large triangle-free fringe.\n");
+}
+
 }  // namespace
 }  // namespace atr
 
 int main(int argc, char** argv) {
   atr::ParseBenchFlags(argc, argv);
-  atr::Run();
+  bool plan_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plan") == 0) plan_sweep = true;
+  }
+  if (plan_sweep) {
+    atr::RunPlanSweep();
+  } else {
+    atr::Run();
+  }
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "core/exact.h"
 #include "core/gas.h"
 #include "core/random_baselines.h"
+#include "truss/plan.h"
 #include "util/parallel_for.h"
 #include "util/timer.h"
 
@@ -102,6 +103,7 @@ class GreedySolver : public Solver {
     if (!status.ok()) return status;
 
     ScopedParallelism parallelism(options.threads);
+    ScopedDecompositionPlan plan_scope(options.plan);
     GreedyControl control = MakeRoundControl(name_, options);
     control.use_incremental = options.use_incremental;
 
@@ -166,6 +168,7 @@ class ExactSolver : public Solver {
     if (!status.ok()) return status;
 
     ScopedParallelism parallelism(options.threads);
+    ScopedDecompositionPlan plan_scope(options.plan);
     // Fetch the shared decomposition before the timer so `seconds` means
     // the same thing for every adapter: solve time on warm shared state.
     const TrussDecomposition& base = context.Decomposition();
@@ -220,6 +223,7 @@ class RandomSolver : public Solver {
     if (!status.ok()) return status;
 
     ScopedParallelism parallelism(options.threads);
+    ScopedDecompositionPlan plan_scope(options.plan);
     // Trials are not rounds: only the cancel flag and wall-clock limit
     // apply (checked between trials on every worker).
     GreedyControl control;
@@ -273,6 +277,7 @@ class AktSolver : public Solver {
     if (!status.ok()) return status;
 
     ScopedParallelism parallelism(options.threads);
+    ScopedDecompositionPlan plan_scope(options.plan);
     const GreedyControl control = MakeRoundControl(Name(), options);
 
     const TrussDecomposition& base = context.Decomposition();

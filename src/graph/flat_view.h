@@ -1,0 +1,81 @@
+// Flat structure-of-arrays mirror of an immutable Graph, the memory layout
+// the flat peel kernels (truss/flat_peel.h) run on. The CSR in graph.h
+// stores AdjEntry structs; the peel's inner loops want the MaxTruss-style
+// packing instead: each adjacency entry is one zipped uint64_t holding
+// (neighbor << 32) | edge_id, so a sorted-merge intersection compares raw
+// 64-bit words and reads the closing edge ids from the low halves without
+// a FindEdge binary search per probe.
+//
+// A view is built once per graph snapshot — the shared-decomposition build
+// path (ComputeSharedTrussDecomposition, which the service layer invokes
+// exactly once per published GraphVersion) constructs one view and every
+// phase of the peel reuses it. Benches and repeated-decomposition callers
+// can amortize further through the overloads in truss/flat_peel.h that
+// accept a prebuilt view.
+
+#ifndef ATR_GRAPH_FLAT_VIEW_H_
+#define ATR_GRAPH_FLAT_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace atr {
+
+// Packs (hi, lo) as (hi << 32) | lo. Zipped arrays sort by the high half
+// first, so adjacency zipped as (neighbor, edge) keeps exactly the
+// ascending-neighbor order of Graph::Neighbors.
+inline constexpr uint64_t FlatZip(uint32_t hi, uint32_t lo) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+inline constexpr uint32_t FlatHi(uint64_t zipped) {
+  return static_cast<uint32_t>(zipped >> 32);
+}
+inline constexpr uint32_t FlatLo(uint64_t zipped) {
+  return static_cast<uint32_t>(zipped);
+}
+
+struct FlatGraphView {
+  uint32_t num_vertices = 0;
+  uint32_t num_edges = 0;
+
+  // Full adjacency: adj[offsets[u] .. offsets[u+1]) holds
+  // FlatZip(neighbor, edge) ascending by neighbor — the peel's per-edge
+  // triangle kernel intersects two of these spans.
+  std::vector<uint32_t> offsets;
+  std::vector<uint64_t> adj;
+
+  // Degree-ordered orientation (the same (degree, id) rule as the forward
+  // triangle sweep in graph/triangles.h): half-edge u -> v exists iff
+  // (deg(u), u) < (deg(v), v). Entries are FlatZip(to, edge) ascending by
+  // `to`, which bounds every out-degree by O(sqrt(m)) and drives the
+  // work-efficient support-initialization sweep.
+  std::vector<uint32_t> oriented_offsets;
+  std::vector<uint64_t> oriented;
+
+  // Edge endpoints FlatZip(u, v) with u < v, indexed by EdgeId.
+  std::vector<uint64_t> edge_ends;
+
+  std::span<const uint64_t> AdjOf(VertexId u) const {
+    return std::span<const uint64_t>(adj).subspan(offsets[u],
+                                                  offsets[u + 1] - offsets[u]);
+  }
+  std::span<const uint64_t> OrientedOf(VertexId u) const {
+    return std::span<const uint64_t>(oriented)
+        .subspan(oriented_offsets[u],
+                 oriented_offsets[u + 1] - oriented_offsets[u]);
+  }
+
+  static FlatGraphView Build(const Graph& g);
+};
+
+// Shared-ownership handle mirroring SharedTrussDecomposition: one view per
+// immutable snapshot, shared by every consumer that peels it.
+using SharedFlatGraphView = std::shared_ptr<const FlatGraphView>;
+
+}  // namespace atr
+
+#endif  // ATR_GRAPH_FLAT_VIEW_H_

@@ -2,11 +2,26 @@
 
 #include <algorithm>
 
+#include "util/env.h"
 #include "util/macros.h"
 #include "util/parallel_for.h"
 
 namespace atr {
 namespace internal {
+namespace {
+
+double g_triangle_cutoff =
+    GetEnvDouble("ATR_TRIANGLE_CUTOFF", kDefaultTriangleCutoff);
+
+}  // namespace
+
+double TriangleCutoff() { return g_triangle_cutoff; }
+
+double SetTriangleCutoffForTest(double cutoff) {
+  const double previous = g_triangle_cutoff;
+  g_triangle_cutoff = cutoff;
+  return previous;
+}
 
 OrientedAdjacency BuildOrientedAdjacency(const Graph& g) {
   const uint32_t n = g.NumVertices();

@@ -56,13 +56,37 @@ void ForEachTriangleOfEdge(const Graph& g, EdgeId e, Fn&& fn) {
   }
 }
 
+// Cost model of the adaptive triangle kernels: the binary-search walk is
+// chosen when  dmin * (bit_width(dmax) + 1) <= cutoff * (d(u) + d(v)).
+// kDefaultTriangleCutoff = 1.0 weighs a walk probe equal to a merge step;
+// override per process with the ATR_TRIANGLE_CUTOFF env var (a double: 0
+// forces the merge everywhere, a large value forces the walk). Both paths
+// report the same triangles in the same ascending-common-neighbor order,
+// so the cutoff is tunable without affecting any result — the cutoff-sweep
+// differential test in tests/graph_test.cc pins that down.
+inline constexpr double kDefaultTriangleCutoff = 1.0;
+
+namespace internal {
+
+// The effective walk-vs-merge cutoff factor: ATR_TRIANGLE_CUTOFF if set
+// (read once per process), else kDefaultTriangleCutoff, unless overridden
+// by the test hook below.
+double TriangleCutoff();
+
+// Overrides the cutoff factor (for cutoff-sweep tests). Returns the
+// previous value.
+double SetTriangleCutoffForTest(double cutoff);
+
+}  // namespace internal
+
 // Adaptive variant of ForEachTriangleOfEdge: per edge, picks the cheaper
 // of the sorted-merge intersection (O(d(u) + d(v))) and the binary-search
 // walk (O(min d · log max d)) — merge wins on comparable degrees, the walk
-// on hub edges. Same callback contract and the same ascending-common-
-// neighbor order. This is the kernel of the parallel support init and the
-// parallel peel's frontier rounds, where each edge is queried
-// independently from CSR and per-edge cost dominates.
+// on hub edges; internal::TriangleCutoff() weighs the two cost models.
+// Same callback contract and the same ascending-common-neighbor order.
+// This is the kernel of the parallel support init and the parallel peel's
+// frontier rounds, where each edge is queried independently from CSR and
+// per-edge cost dominates.
 template <typename Fn>
 void ForEachTriangleOfEdgeAdaptive(const Graph& g, EdgeId e, Fn&& fn) {
   const EdgeEndpoints ends = g.Edge(e);
@@ -71,7 +95,8 @@ void ForEachTriangleOfEdgeAdaptive(const Graph& g, EdgeId e, Fn&& fn) {
   const uint64_t dmin = std::min(nu.size(), nv.size());
   const uint64_t dmax = std::max(nu.size(), nv.size());
   const uint64_t walk_cost = dmin * (std::bit_width(dmax) + 1);
-  if (walk_cost <= nu.size() + nv.size()) {
+  if (static_cast<double>(walk_cost) <=
+      internal::TriangleCutoff() * static_cast<double>(nu.size() + nv.size())) {
     ForEachTriangleOfEdge(g, e, std::forward<Fn>(fn));
     return;
   }

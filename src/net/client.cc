@@ -181,11 +181,10 @@ StatusOr<AtrService::GraphInfo> AtrClient::Info(const std::string& graph) {
   return std::move(response->info);
 }
 
-StatusOr<uint64_t> AtrClient::SendSubmit(const std::string& graph,
-                                         const std::string& solver,
-                                         const WireSolverOptions& options,
-                                         const std::string& tenant,
-                                         int priority) {
+StatusOr<uint64_t> AtrClient::SendSubmit(
+    const std::string& graph, const std::string& solver,
+    const WireSolverOptions& options, const std::string& tenant, int priority,
+    const std::optional<DecompositionPlan>& plan) {
   SubmitRequest request;
   request.request_id = NextRequestId();
   request.graph = graph;
@@ -193,6 +192,7 @@ StatusOr<uint64_t> AtrClient::SendSubmit(const std::string& graph,
   request.options = options;
   request.tenant = tenant;
   request.priority = priority;
+  request.plan = plan;
   if (Status s = SendBytes(request.EncodeFrame()); !s.ok()) return s;
   return request.request_id;
 }
@@ -205,12 +205,12 @@ StatusOr<uint64_t> AtrClient::ReceiveSubmit(uint64_t request_id) {
   return response->job_id;
 }
 
-StatusOr<uint64_t> AtrClient::Submit(const std::string& graph,
-                                     const std::string& solver,
-                                     const WireSolverOptions& options,
-                                     const std::string& tenant, int priority) {
+StatusOr<uint64_t> AtrClient::Submit(
+    const std::string& graph, const std::string& solver,
+    const WireSolverOptions& options, const std::string& tenant, int priority,
+    const std::optional<DecompositionPlan>& plan) {
   StatusOr<uint64_t> request_id =
-      SendSubmit(graph, solver, options, tenant, priority);
+      SendSubmit(graph, solver, options, tenant, priority, plan);
   if (!request_id.ok()) return request_id.status();
   return ReceiveSubmit(*request_id);
 }

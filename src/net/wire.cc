@@ -301,6 +301,14 @@ std::vector<uint8_t> SubmitRequest::EncodeFrame() const {
   w.WriteU8(options.use_incremental ? 1 : 0);
   w.WriteString(tenant);
   w.WriteU32(static_cast<uint32_t>(priority));
+  // Revision-3 trailing fields; a request without an explicit plan stays
+  // byte-identical to a revision-2 frame.
+  if (plan.has_value()) {
+    w.WriteU8(static_cast<uint8_t>(plan->algorithm));
+    w.WriteU32(plan->chunk_size);
+    w.WriteU32(plan->fanout_cutoff);
+    w.WriteU8(plan->prefilter ? 1 : 0);
+  }
   return FinishFrame(MsgType::kSubmit, w);
 }
 
@@ -326,6 +334,24 @@ StatusOr<SubmitRequest> SubmitRequest::Decode(
       return DecodeError("SubmitRequest");
     }
     out.priority = static_cast<int32_t>(raw_priority);
+  }
+  // Plan selection arrived in revision 3; a payload ending at the rev-2
+  // fields leaves the plan unset (server default). Unknown algorithm ids
+  // are rejected — untrusted-bytes boundary, never aborts.
+  if (r.remaining() > 0) {
+    uint8_t algorithm = 0;
+    uint8_t prefilter = 0;
+    DecompositionPlan plan;
+    if (!r.ReadU8(&algorithm) || !r.ReadU32(&plan.chunk_size) ||
+        !r.ReadU32(&plan.fanout_cutoff) || !r.ReadU8(&prefilter)) {
+      return DecodeError("SubmitRequest");
+    }
+    if (algorithm > static_cast<uint8_t>(PeelAlgorithm::kBspCoreThenTruss)) {
+      return DecodeError("SubmitRequest");
+    }
+    plan.algorithm = static_cast<PeelAlgorithm>(algorithm);
+    plan.prefilter = prefilter != 0;
+    out.plan = plan;
   }
   if (Status s = FinishDecode(r, "SubmitRequest"); !s.ok()) return s;
   return out;

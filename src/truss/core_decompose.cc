@@ -1,0 +1,74 @@
+#include "truss/core_decompose.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace atr {
+
+CoreDecomposition ComputeCoreDecomposition(
+    const Graph& g, const std::vector<uint8_t>& alive_edges) {
+  const uint32_t n = g.NumVertices();
+  CoreDecomposition out;
+  out.core.assign(n, 0);
+  if (n == 0) return out;
+
+  const bool masked = !alive_edges.empty();
+  auto edge_alive = [&](EdgeId e) { return !masked || alive_edges[e] != 0; };
+
+  std::vector<uint32_t> degree(n, 0);
+  uint32_t max_degree = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    uint32_t d = 0;
+    for (const AdjEntry& entry : g.Neighbors(u)) {
+      if (edge_alive(entry.edge)) ++d;
+    }
+    degree[u] = d;
+    max_degree = std::max(max_degree, d);
+  }
+
+  // Bin-sort vertices by degree: sorted ascending, pos[v] its slot,
+  // bin_start[d] the first slot of degree-d vertices.
+  std::vector<uint32_t> bin_start(max_degree + 2, 0);
+  for (VertexId u = 0; u < n; ++u) ++bin_start[degree[u] + 1];
+  for (uint32_t d = 1; d < bin_start.size(); ++d) bin_start[d] += bin_start[d - 1];
+  std::vector<uint32_t> sorted(n);
+  std::vector<uint32_t> pos(n);
+  {
+    std::vector<uint32_t> cursor(bin_start.begin(), bin_start.end() - 1);
+    for (VertexId u = 0; u < n; ++u) {
+      pos[u] = cursor[degree[u]];
+      sorted[pos[u]] = u;
+      ++cursor[degree[u]];
+    }
+  }
+
+  // Peel in degree order. When v is removed with current degree d, its core
+  // number is d; each alive neighbor with a higher current degree moves one
+  // bin down in O(1) by swapping with its bin's front.
+  for (uint32_t i = 0; i < n; ++i) {
+    const VertexId v = sorted[i];
+    const uint32_t dv = degree[v];
+    out.core[v] = dv;
+    out.max_core = std::max(out.max_core, dv);
+    for (const AdjEntry& entry : g.Neighbors(v)) {
+      if (!edge_alive(entry.edge)) continue;
+      const VertexId w = entry.neighbor;
+      const uint32_t dw = degree[w];
+      if (dw <= dv) continue;  // already peeled or tied with v's bin
+      const uint32_t slot = pos[w];
+      const uint32_t front = bin_start[dw];
+      ATR_DCHECK(front > i);
+      const VertexId moved = sorted[front];
+      sorted[front] = w;
+      sorted[slot] = moved;
+      pos[w] = front;
+      pos[moved] = slot;
+      ++bin_start[dw];
+      degree[w] = dw - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace atr

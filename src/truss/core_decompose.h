@@ -1,0 +1,37 @@
+// k-core decomposition: per-vertex core numbers via the linear bin-sort
+// peel (Batagelj–Zaversnik). Two consumers today, shaped for more:
+//
+//   * The kBspCoreThenTruss prefilter (truss/flat_peel.cc) discards edges
+//     outside the 2-core of the alive subgraph before the triangle phase —
+//     a triangle lies entirely inside the 2-core, so such edges close no
+//     alive triangle and their trussness is forced.
+//   * ROADMAP's k-core objective family (anchored k-core / core
+//     reinforcement) needs exactly these core numbers as its baseline
+//     decomposition; keep this header free of truss-specific types so that
+//     work can reuse it unchanged.
+
+#ifndef ATR_TRUSS_CORE_DECOMPOSE_H_
+#define ATR_TRUSS_CORE_DECOMPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace atr {
+
+struct CoreDecomposition {
+  // core[v] = largest k such that v belongs to a subgraph with minimum
+  // degree k. Isolated vertices get 0.
+  std::vector<uint32_t> core;
+  uint32_t max_core = 0;
+};
+
+// Core numbers of `g`, restricted to the subgraph of edges with
+// alive_edges[e] != 0. An empty mask means every edge is alive. O(n + m).
+CoreDecomposition ComputeCoreDecomposition(
+    const Graph& g, const std::vector<uint8_t>& alive_edges = {});
+
+}  // namespace atr
+
+#endif  // ATR_TRUSS_CORE_DECOMPOSE_H_

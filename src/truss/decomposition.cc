@@ -3,7 +3,8 @@
 #include <algorithm>
 
 #include "graph/triangles.h"
-#include "truss/parallel_peel.h"
+#include "truss/flat_peel.h"
+#include "truss/plan.h"
 #include "util/macros.h"
 #include "util/parallel_for.h"
 
@@ -115,40 +116,49 @@ TrussDecomposition Peel(const Graph& g, const std::vector<bool>& anchored,
 
 }  // namespace
 
-namespace {
-
-// Parallel is worth it only with workers available AND enough edges to
-// amortize the fan-out (the differential tests drop the cutoff to 1 so
-// dispatch routes small graphs through the parallel engine too).
-bool DispatchParallel(size_t work_edges) {
-  return ParallelWorkerCount() > 1 &&
-         work_edges >= internal::ParallelPeelMinFrontier();
+TrussDecomposition ComputeTrussDecompositionWithPlan(
+    const Graph& g, const std::vector<bool>& anchored,
+    const DecompositionPlan& plan) {
+  if (plan.algorithm == PeelAlgorithm::kSerial) {
+    return ComputeTrussDecompositionSerial(g, anchored);
+  }
+  return ComputeTrussDecompositionFlat(g, anchored, plan);
 }
-
-}  // namespace
 
 TrussDecomposition ComputeTrussDecomposition(
     const Graph& g, const std::vector<bool>& anchored) {
-  if (DispatchParallel(g.NumEdges())) {
-    return ComputeTrussDecompositionParallel(g, anchored);
-  }
-  return ComputeTrussDecompositionSerial(g, anchored);
+  return ComputeTrussDecompositionWithPlan(g, anchored,
+                                           DecompositionPlan::Ambient());
+}
+
+SharedTrussDecomposition ComputeSharedTrussDecompositionWithPlan(
+    const Graph& g, const std::vector<bool>& anchored,
+    const DecompositionPlan& plan) {
+  return std::make_shared<const TrussDecomposition>(
+      ComputeTrussDecompositionWithPlan(g, anchored, plan));
 }
 
 SharedTrussDecomposition ComputeSharedTrussDecomposition(
     const Graph& g, const std::vector<bool>& anchored) {
-  return std::make_shared<const TrussDecomposition>(
-      ComputeTrussDecomposition(g, anchored));
+  return ComputeSharedTrussDecompositionWithPlan(g, anchored,
+                                                 DecompositionPlan::Ambient());
+}
+
+TrussDecomposition ComputeTrussDecompositionOnSubsetWithPlan(
+    const Graph& g, const std::vector<bool>& anchored,
+    const std::vector<EdgeId>& edge_subset, const DecompositionPlan& plan) {
+  if (plan.algorithm == PeelAlgorithm::kSerial) {
+    return ComputeTrussDecompositionOnSubsetSerial(g, anchored, edge_subset);
+  }
+  return ComputeTrussDecompositionOnSubsetFlat(g, anchored, edge_subset,
+                                               plan);
 }
 
 TrussDecomposition ComputeTrussDecompositionOnSubset(
     const Graph& g, const std::vector<bool>& anchored,
     const std::vector<EdgeId>& edge_subset) {
-  if (DispatchParallel(edge_subset.size())) {
-    return ComputeTrussDecompositionOnSubsetParallel(g, anchored,
-                                                     edge_subset);
-  }
-  return ComputeTrussDecompositionOnSubsetSerial(g, anchored, edge_subset);
+  return ComputeTrussDecompositionOnSubsetWithPlan(
+      g, anchored, edge_subset, DecompositionPlan::Ambient());
 }
 
 TrussDecomposition ComputeTrussDecompositionSerial(

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "truss/plan.h"
 #include "util/binary_io.h"
 #include "util/status.h"
 
@@ -91,30 +92,42 @@ struct TrussDecomposition {
 // mutable checkouts copy-on-write from it instead of locking it.
 using SharedTrussDecomposition = std::shared_ptr<const TrussDecomposition>;
 
-// ComputeTrussDecomposition wrapped in a shared snapshot handle.
+// ComputeTrussDecomposition wrapped in a shared snapshot handle. The
+// plan-less overload uses DecompositionPlan::Ambient().
 SharedTrussDecomposition ComputeSharedTrussDecomposition(
     const Graph& g, const std::vector<bool>& anchored = {});
+SharedTrussDecomposition ComputeSharedTrussDecompositionWithPlan(
+    const Graph& g, const std::vector<bool>& anchored,
+    const DecompositionPlan& plan);
 
 // Full-graph decomposition. `anchored` is either empty (no anchors) or a
 // size-m mask; anchored edges are retained throughout peeling.
 //
-// Dispatches between the serial peel and the round-synchronous parallel
-// engine (truss/parallel_peel.h) based on the calling thread's worker
-// count (ScopedParallelism override / ATR_THREADS / hardware concurrency,
-// see util/parallel_for.h) — the two are byte-identical in trussness,
-// layer, and max_trussness at any thread count, so callers never observe
-// the choice.
+// Every entry point dispatches through a DecompositionPlan (truss/plan.h):
+// kSerial routes to the reference peel below, kBsp / kBspCoreThenTruss to
+// the flat SoA engine (truss/flat_peel.h). All engines are byte-identical
+// in trussness, layer, and max_trussness at any thread count, so callers
+// never observe the choice. The plan-less overloads use
+// DecompositionPlan::Ambient() — the innermost ScopedDecompositionPlan on
+// this thread (installed by the solver adapters from SolverOptions::plan),
+// else the ATR_PLAN process default.
 TrussDecomposition ComputeTrussDecomposition(
     const Graph& g, const std::vector<bool>& anchored = {});
+TrussDecomposition ComputeTrussDecompositionWithPlan(
+    const Graph& g, const std::vector<bool>& anchored,
+    const DecompositionPlan& plan);
 
 // Restricted decomposition over the subgraph formed by `edge_subset`
 // (anchored edges that the caller wants present must be listed too).
 // Edges outside the subset get trussness kTrussnessNotComputed and do not
 // participate in triangles. Used by the GAS local subtree rebuild. Same
-// serial/parallel dispatch as ComputeTrussDecomposition.
+// plan dispatch as ComputeTrussDecomposition.
 TrussDecomposition ComputeTrussDecompositionOnSubset(
     const Graph& g, const std::vector<bool>& anchored,
     const std::vector<EdgeId>& edge_subset);
+TrussDecomposition ComputeTrussDecompositionOnSubsetWithPlan(
+    const Graph& g, const std::vector<bool>& anchored,
+    const std::vector<EdgeId>& edge_subset, const DecompositionPlan& plan);
 
 // The serial Algorithm 1 peel, always single-threaded. This is the
 // reference engine the parallel peel is differentially tested against;

@@ -1,0 +1,65 @@
+#include "truss/plan.h"
+
+#include "util/env.h"
+
+namespace atr {
+namespace {
+
+thread_local const DecompositionPlan* t_plan_override = nullptr;
+
+DecompositionPlan ParseDefaultPlan() {
+  const std::string name = GetEnvString("ATR_PLAN", "bsp");
+  StatusOr<DecompositionPlan> parsed = DecompositionPlanFromName(name);
+  // The env knob is tolerant (benches run with ad-hoc environments); the
+  // strict path is DecompositionPlanFromName for CLI/wire input.
+  return parsed.ok() ? parsed.value() : DecompositionPlan::Bsp();
+}
+
+}  // namespace
+
+DecompositionPlan DecompositionPlan::Default() {
+  static const DecompositionPlan plan = ParseDefaultPlan();
+  return plan;
+}
+
+DecompositionPlan DecompositionPlan::Ambient() {
+  return t_plan_override != nullptr ? *t_plan_override : Default();
+}
+
+std::string DecompositionPlan::Name() const {
+  switch (algorithm) {
+    case PeelAlgorithm::kSerial:
+      return "serial";
+    case PeelAlgorithm::kBsp:
+      return "bsp";
+    case PeelAlgorithm::kBspCoreThenTruss:
+      return "bsp-core-truss";
+  }
+  return "unknown";
+}
+
+std::string DecompositionPlan::CacheKey() const {
+  return Name() + ":c" + std::to_string(chunk_size) + ":f" +
+         std::to_string(fanout_cutoff) + (prefilter ? ":pre" : "");
+}
+
+StatusOr<DecompositionPlan> DecompositionPlanFromName(
+    const std::string& name) {
+  if (name == "serial") return DecompositionPlan::Serial();
+  if (name == "bsp") return DecompositionPlan::Bsp();
+  if (name == "bsp-core-truss") return DecompositionPlan::BspCoreThenTruss();
+  return Status::InvalidArgument(
+      "unknown decomposition plan \"" + name +
+      "\" (expected serial, bsp, or bsp-core-truss)");
+}
+
+ScopedDecompositionPlan::ScopedDecompositionPlan(const DecompositionPlan& plan)
+    : plan_(plan), previous_(t_plan_override) {
+  t_plan_override = &plan_;
+}
+
+ScopedDecompositionPlan::~ScopedDecompositionPlan() {
+  t_plan_override = previous_;
+}
+
+}  // namespace atr

@@ -1,0 +1,114 @@
+// DecompositionPlan: selects and tunes the truss-peel kernel.
+//
+// Every ComputeTrussDecomposition* entry point dispatches through a plan
+// (truss/decomposition.h), so kernel experiments swap behind one seam —
+// the shape follows Katana's KTrussPlan. All algorithms are byte-identical
+// to the serial oracle (same trussness, layer, and max_trussness for every
+// edge at every thread count); a plan only chooses how the answer is
+// computed, never what it is. The differential suites in
+// tests/parallel_decomposition_test.cc enforce this per plan.
+//
+// Selection flows through the stack: SolverOptions::plan (api/solver.h)
+// governs a solver run, AtrService::SubmitOptions::plan overrides it per
+// submit, and the wire protocol carries the plan as a revision-3 trailing
+// field (docs/PROTOCOL.md). Library callers that cannot pass options
+// install a ScopedDecompositionPlan; otherwise the ambient default applies
+// (ATR_PLAN env var, falling back to kBsp).
+
+#ifndef ATR_TRUSS_PLAN_H_
+#define ATR_TRUSS_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace atr {
+
+// Wire-stable algorithm ids (docs/PROTOCOL.md revision 3) — append only.
+enum class PeelAlgorithm : uint8_t {
+  // Reference bucket peel from truss/decomposition.cc — the oracle every
+  // other engine is differentially tested against.
+  kSerial = 0,
+  // Flat SoA bucket-queue peel (truss/flat_peel.h): zipped uint64_t
+  // half-edge arrays over a FlatGraphView, O(1) support decrements with no
+  // per-round bucket re-scan, round-synchronous fan-out above the cutoff.
+  kBsp = 1,
+  // kBsp preceded by a k-core prefilter (truss/core_decompose.h): edges
+  // outside the 2-core close no triangle, so their trussness is forced and
+  // the triangle phase skips them.
+  kBspCoreThenTruss = 2,
+};
+
+struct DecompositionPlan {
+  PeelAlgorithm algorithm = PeelAlgorithm::kBsp;
+
+  // Frontier edges per fan-out chunk. 0 = split the frontier evenly across
+  // the effective workers (ParallelChunkCount). Chunking only changes how
+  // decrement buffers are batched, never the result.
+  uint32_t chunk_size = 0;
+
+  // Frontier size below which rounds stay serial. 0 = the process default
+  // (internal::ParallelPeelMinFrontier, honoring the test hook).
+  uint32_t fanout_cutoff = 0;
+
+  // Run the k-core prefilter even for plain kBsp. kBspCoreThenTruss
+  // implies it regardless of this flag.
+  bool prefilter = false;
+
+  bool PrefilterEnabled() const {
+    return prefilter || algorithm == PeelAlgorithm::kBspCoreThenTruss;
+  }
+
+  static DecompositionPlan Serial() {
+    return DecompositionPlan{PeelAlgorithm::kSerial, 0, 0, false};
+  }
+  static DecompositionPlan Bsp() {
+    return DecompositionPlan{PeelAlgorithm::kBsp, 0, 0, false};
+  }
+  static DecompositionPlan BspCoreThenTruss() {
+    return DecompositionPlan{PeelAlgorithm::kBspCoreThenTruss, 0, 0, false};
+  }
+
+  // Process-wide default: ATR_PLAN env var ("serial", "bsp",
+  // "bsp-core-truss"; unknown values fall back to bsp), read once.
+  static DecompositionPlan Default();
+
+  // The plan in effect for plan-less entry points: the innermost
+  // ScopedDecompositionPlan on this thread, else Default().
+  static DecompositionPlan Ambient();
+
+  // Canonical algorithm name ("serial" / "bsp" / "bsp-core-truss").
+  std::string Name() const;
+
+  // Stable key covering every knob — used to partition service batch keys
+  // so jobs with different plans never fuse.
+  std::string CacheKey() const;
+
+  friend bool operator==(const DecompositionPlan&,
+                         const DecompositionPlan&) = default;
+};
+
+// Parses a canonical algorithm name into a plan with default knobs.
+StatusOr<DecompositionPlan> DecompositionPlanFromName(const std::string& name);
+
+// Installs `plan` as the ambient plan for the current thread (RAII,
+// nestable). The solver adapters wrap each Solve with one so that lazy
+// SolverContext::Decomposition builds and nested subset recomputes inside
+// the objective engines all honor SolverOptions::plan.
+class ScopedDecompositionPlan {
+ public:
+  explicit ScopedDecompositionPlan(const DecompositionPlan& plan);
+  ~ScopedDecompositionPlan();
+
+  ScopedDecompositionPlan(const ScopedDecompositionPlan&) = delete;
+  ScopedDecompositionPlan& operator=(const ScopedDecompositionPlan&) = delete;
+
+ private:
+  DecompositionPlan plan_;
+  const DecompositionPlan* previous_;
+};
+
+}  // namespace atr
+
+#endif  // ATR_TRUSS_PLAN_H_

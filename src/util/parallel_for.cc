@@ -26,10 +26,6 @@ int EffectiveWorkers(int64_t n) {
   return static_cast<int>(std::min<int64_t>(ParallelWorkerCount(), n));
 }
 
-int64_t ChunkLength(int64_t n, int workers) {
-  return (n + workers - 1) / workers;
-}
-
 void RunChunks(int64_t n,
                const std::function<void(int, int64_t, int64_t)>& body) {
   if (n <= 0) return;
@@ -40,11 +36,13 @@ void RunChunks(int64_t n,
   }
   std::vector<std::thread> threads;
   threads.reserve(workers);
-  const int64_t chunk = ChunkLength(n, workers);
+  // Balanced partition: chunk w is [n*w/workers, n*(w+1)/workers). Since
+  // workers <= n, every chunk is non-empty — the old uniform-length split
+  // (ceil(n/workers) each, stop at n) could starve the tail workers, e.g.
+  // n=5 with 4 workers produced chunks of 2/2/1 and left one worker idle.
   for (int w = 0; w < workers; ++w) {
-    const int64_t begin = w * chunk;
-    const int64_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
+    const int64_t begin = n * w / workers;
+    const int64_t end = n * (w + 1) / workers;
     threads.emplace_back([&body, w, begin, end] {
       t_inside_worker = true;
       body(w, begin, end);
@@ -81,10 +79,9 @@ void ParallelFor(int64_t n,
 
 int ParallelChunkCount(int64_t n) {
   if (n <= 0) return 0;
-  const int workers = EffectiveWorkers(n);
-  if (workers <= 1) return 1;
-  const int64_t chunk = ChunkLength(n, workers);
-  return static_cast<int>((n + chunk - 1) / chunk);
+  // One chunk per effective worker — the partition in RunChunks never
+  // leaves a chunk empty, so every worker gets work even on tiny ranges.
+  return EffectiveWorkers(n);
 }
 
 void ParallelForChunked(

@@ -43,8 +43,10 @@ void ParallelFor(int64_t n,
                  const std::function<void(int64_t begin, int64_t end)>& body);
 
 // The number of chunks the chunked variant below will partition [0, n)
-// into if called right now from this thread (0 when n <= 0). Callers size
-// per-chunk accumulation buffers with this before fanning out.
+// into if called right now from this thread: one non-empty chunk per
+// effective worker, i.e. min(ParallelWorkerCount(), n), or 0 when n <= 0.
+// Callers size per-chunk accumulation buffers with this before fanning
+// out.
 int ParallelChunkCount(int64_t n);
 
 // Same partition as ParallelFor, additionally passing the chunk's ordinal
@@ -52,7 +54,9 @@ int ParallelChunkCount(int64_t n);
 // per-chunk buffers that the caller folds in chunk order afterwards — the
 // deterministic-reduction pattern: the fold sees the same sequence of
 // contributions for a given worker count no matter how the chunks were
-// scheduled. Runs inline as chunk 0 when only one worker is available.
+// scheduled. The partition is balanced (chunk lengths differ by at most
+// one) and covers [0, n) with ParallelChunkCount(n) non-empty chunks.
+// Runs inline as chunk 0 when only one worker is available.
 void ParallelForChunked(
     int64_t n,
     const std::function<void(int chunk, int64_t begin, int64_t end)>& body);

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
+#include <vector>
 
 #include "graph/triangles.h"
 #include "tests/test_helpers.h"
@@ -133,6 +135,41 @@ TEST_P(TriangleConsistencyTest, PerEdgeTrianglesHaveConsistentEndpoints) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TriangleConsistencyTest,
                          ::testing::Range<uint64_t>(0, 10));
+
+// RAII override for the adaptive walk-vs-merge cutoff factor so every
+// test restores the production value.
+class ScopedTriangleCutoff {
+ public:
+  explicit ScopedTriangleCutoff(double cutoff)
+      : previous_(internal::SetTriangleCutoffForTest(cutoff)) {}
+  ~ScopedTriangleCutoff() { internal::SetTriangleCutoffForTest(previous_); }
+
+ private:
+  double previous_;
+};
+
+TEST_P(TriangleConsistencyTest, AdaptiveCutoffSweepIsPathInvariant) {
+  // 0.0 forces the merge intersection everywhere, the huge factor forces
+  // the binary-search walk, and the default mixes per edge. All three must
+  // report byte-identical (w, ew_u, ew_v) sequences for every edge — the
+  // cutoff is a performance knob, never a semantic one.
+  const Graph g = MakePropertyGraph(GetParam());
+  std::vector<std::vector<std::tuple<VertexId, EdgeId, EdgeId>>> runs;
+  for (const double cutoff : {0.0, kDefaultTriangleCutoff, 1e12}) {
+    ScopedTriangleCutoff scoped(cutoff);
+    std::vector<std::tuple<VertexId, EdgeId, EdgeId>> seen;
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      ForEachTriangleOfEdgeAdaptive(
+          g, e, [&](VertexId w, EdgeId eu, EdgeId ev) {
+            seen.emplace_back(w, eu, ev);
+          });
+    }
+    runs.push_back(std::move(seen));
+  }
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], runs[1]) << "merge-only vs default diverged";
+  EXPECT_EQ(runs[0], runs[2]) << "merge-only vs walk-only diverged";
+}
 
 // --- Graph::ApplyEdits ----------------------------------------------------
 

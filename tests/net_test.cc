@@ -99,6 +99,85 @@ TEST(WireCodec, SubmitRequestCarriesTenantAndPriority) {
   EXPECT_EQ(decoded->priority, -3);
 }
 
+TEST(WireCodec, SubmitRequestCarriesPlan) {
+  SubmitRequest request;
+  request.request_id = 44;
+  request.graph = "social";
+  request.solver = "gas";
+  request.options.budget = 2;
+  request.tenant = "acme";
+  request.priority = 1;
+  DecompositionPlan plan = DecompositionPlan::BspCoreThenTruss();
+  plan.chunk_size = 512;
+  plan.fanout_cutoff = 1024;
+  plan.prefilter = true;
+  request.plan = plan;
+
+  StatusOr<SubmitRequest> decoded =
+      SubmitRequest::Decode(PayloadOf(request.EncodeFrame(), MsgType::kSubmit));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  ASSERT_TRUE(decoded->plan.has_value());
+  EXPECT_EQ(decoded->plan->algorithm, PeelAlgorithm::kBspCoreThenTruss);
+  EXPECT_EQ(decoded->plan->chunk_size, 512u);
+  EXPECT_EQ(decoded->plan->fanout_cutoff, 1024u);
+  EXPECT_TRUE(decoded->plan->prefilter);
+  EXPECT_EQ(decoded->tenant, "acme");
+
+  // Without an explicit plan the frame stays byte-identical to revision 2
+  // and decodes to "unset" (server default), never to some plan value.
+  request.plan.reset();
+  StatusOr<SubmitRequest> plain =
+      SubmitRequest::Decode(PayloadOf(request.EncodeFrame(), MsgType::kSubmit));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->plan.has_value());
+}
+
+TEST(WireCodec, SubmitRequestRev2PrefixDecodesWithoutPlan) {
+  // A revision-2 client's frame is exactly a revision-3 frame minus the
+  // 10-byte plan trailer; the server must decode it with the plan unset
+  // while keeping the rev-2 fields.
+  SubmitRequest request;
+  request.request_id = 45;
+  request.graph = "g";
+  request.solver = "gas";
+  request.tenant = "acme";
+  request.priority = -2;
+  request.plan = DecompositionPlan::Bsp();
+  const std::vector<uint8_t> frame = request.EncodeFrame();
+  const std::span<const uint8_t> payload(frame.data() + 8, frame.size() - 8);
+
+  StatusOr<SubmitRequest> rev2 =
+      SubmitRequest::Decode(payload.subspan(0, payload.size() - 10));
+  ASSERT_TRUE(rev2.ok()) << rev2.status().message();
+  EXPECT_FALSE(rev2->plan.has_value());
+  EXPECT_EQ(rev2->tenant, "acme");
+  EXPECT_EQ(rev2->priority, -2);
+
+  // Every other strict prefix of the trailer is a malformed frame.
+  for (size_t cut = 1; cut < 10; ++cut) {
+    EXPECT_FALSE(
+        SubmitRequest::Decode(payload.subspan(0, payload.size() - cut)).ok())
+        << "trailer cut " << cut;
+  }
+}
+
+TEST(WireCodec, SubmitRequestRejectsUnknownPlanAlgorithm) {
+  SubmitRequest request;
+  request.request_id = 46;
+  request.graph = "g";
+  request.solver = "gas";
+  request.plan = DecompositionPlan::Serial();
+  std::vector<uint8_t> frame = request.EncodeFrame();
+  // The algorithm id leads the 10-byte plan trailer at the payload tail.
+  const size_t algorithm_at = frame.size() - 10;
+  for (const uint8_t bogus : {3, 7, 255}) {
+    frame[algorithm_at] = bogus;
+    const std::span<const uint8_t> payload(frame.data() + 8, frame.size() - 8);
+    EXPECT_FALSE(SubmitRequest::Decode(payload).ok())
+        << "algorithm id " << static_cast<int>(bogus);
+  }
+}
+
 TEST(WireCodec, WaitResponseRoundTrips) {
   WaitResponse response;
   response.request_id = 3;
@@ -628,6 +707,34 @@ TEST(ServerIntegration, TenantAndPrioritySubmitOverTcp) {
   // Tenancy routes scheduling, never results.
   EXPECT_EQ(tenant_result->anchor_edges, plain_result->anchor_edges);
   EXPECT_EQ(tenant_result->total_gain, plain_result->total_gain);
+}
+
+TEST(ServerIntegration, PlanSubmitOverTcp) {
+  // The plan rides the wire to the worker thread; every plan is
+  // byte-identical in decomposition output, so solve results must match
+  // the plan-less submit exactly.
+  ServerFixture fixture;
+  ASSERT_TRUE(fixture.server().AddGraph("social", ServedGraph()).ok());
+  AtrClient client = fixture.MakeClient();
+
+  WireSolverOptions options;
+  options.budget = 3;
+  StatusOr<uint64_t> plain = client.Submit("social", "gas", options);
+  ASSERT_TRUE(plain.ok());
+  StatusOr<WireSolveResult> plain_result = client.Wait(*plain);
+  ASSERT_TRUE(plain_result.ok());
+
+  for (const DecompositionPlan& plan :
+       {DecompositionPlan::Serial(), DecompositionPlan::Bsp(),
+        DecompositionPlan::BspCoreThenTruss()}) {
+    StatusOr<uint64_t> job = client.Submit("social", "gas", options,
+                                           /*tenant=*/"", /*priority=*/0, plan);
+    ASSERT_TRUE(job.ok()) << plan.Name();
+    StatusOr<WireSolveResult> result = client.Wait(*job);
+    ASSERT_TRUE(result.ok()) << plan.Name();
+    EXPECT_EQ(result->anchor_edges, plain_result->anchor_edges) << plan.Name();
+    EXPECT_EQ(result->total_gain, plain_result->total_gain) << plan.Name();
+  }
 }
 
 TEST(ClientDeadline, SilentServerYieldsDeadlineExceeded) {

@@ -191,6 +191,55 @@ TEST(ParallelForChunked, ChunkOrdinalsAreDenseAndBoundariesExact) {
   }
 }
 
+TEST(ParallelChunkCount, OneNonEmptyChunkPerEffectiveWorker) {
+  // The old ceil(n / workers) chunk-length rounding starved workers on
+  // tiny ranges: n = 5 with 4 workers made length-2 chunks — 2/2/1 across
+  // three chunks, one worker idle. The contract now is min(workers, n)
+  // chunks, always all non-empty.
+  {
+    ScopedParallelism parallelism(4);
+    EXPECT_EQ(ParallelChunkCount(5), 4);
+    EXPECT_EQ(ParallelChunkCount(3), 3);
+    EXPECT_EQ(ParallelChunkCount(4), 4);
+    EXPECT_EQ(ParallelChunkCount(100), 4);
+    EXPECT_EQ(ParallelChunkCount(1), 1);
+    EXPECT_EQ(ParallelChunkCount(0), 0);
+    EXPECT_EQ(ParallelChunkCount(-7), 0);
+  }
+  {
+    ScopedParallelism parallelism(8);
+    EXPECT_EQ(ParallelChunkCount(8), 8);
+    EXPECT_EQ(ParallelChunkCount(9), 8);
+    EXPECT_EQ(ParallelChunkCount(7), 7);
+  }
+}
+
+TEST(ParallelForChunked, ChunksAreBalancedAndNonEmpty) {
+  // The balanced partition: every chunk non-empty, lengths differ by at
+  // most one, larger chunks first-come in index order.
+  for (const int workers : {2, 3, 4, 8}) {
+    ScopedParallelism parallelism(workers);
+    for (const int64_t n : {1, 2, 5, 7, 9, 31}) {
+      std::mutex mu;
+      std::vector<int64_t> lengths(static_cast<size_t>(ParallelChunkCount(n)),
+                                   -1);
+      ParallelForChunked(n, [&](int chunk, int64_t begin, int64_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        lengths[static_cast<size_t>(chunk)] = end - begin;
+      });
+      int64_t lo = n;
+      int64_t hi = 0;
+      for (const int64_t len : lengths) {
+        ASSERT_GT(len, 0) << "workers " << workers << " n " << n
+                          << ": empty or unvisited chunk";
+        lo = std::min(lo, len);
+        hi = std::max(hi, len);
+      }
+      EXPECT_LE(hi - lo, 1) << "workers " << workers << " n " << n;
+    }
+  }
+}
+
 TEST(ParallelFor, NestedCallsRunInlineInsideWorkers) {
   // A ParallelFor issued from inside a worker body must not fan out a
   // second level of threads: the nested call sees one worker and runs

@@ -3,9 +3,10 @@
 
 Rules (each with an id usable in suppressions):
 
-  determinism   src/core/ and src/truss/ must stay bit-deterministic: no
-                process randomness (rand/srand/std::random_device) and no
-                wall clock (system_clock, time(), gettimeofday, localtime).
+  determinism   src/core/, src/graph/, and src/truss/ must stay
+                bit-deterministic: no process randomness
+                (rand/srand/std::random_device) and no wall clock
+                (system_clock, time(), gettimeofday, localtime).
                 Seeded generators (std::mt19937 with an explicit seed) and
                 the monotonic steady_clock are fine — only ambient
                 nondeterminism is banned.
@@ -63,14 +64,15 @@ class Rule:
         return self._applies(norm, _path_parts(path))
 
 
-def _in_core_or_truss(_norm, parts):
-    return "core" in parts or "truss" in parts
+def _in_deterministic_kernel(_norm, parts):
+    return "core" in parts or "graph" in parts or "truss" in parts
 
 
 RULES = [
     Rule(
         "determinism",
-        "no ambient randomness or wall clock in src/core/ + src/truss/",
+        "no ambient randomness or wall clock in src/core/ + src/graph/ + "
+        "src/truss/",
         [
             (r"\b(?:std::)?s?rand\s*\(", "rand()/srand() is ambient randomness"),
             (r"\bstd::random_device\b", "random_device is ambient randomness"),
@@ -81,7 +83,7 @@ RULES = [
             (r"\b(?:std::)?(?:localtime|gmtime|ctime)\s*\(",
              "calendar time is wall-clock time"),
         ],
-        applies=_in_core_or_truss,
+        applies=_in_deterministic_kernel,
     ),
     Rule(
         "raii-lock",
